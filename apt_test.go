@@ -1,0 +1,155 @@
+package repro
+
+import (
+	"bytes"
+	"testing"
+)
+
+func facadeData(t *testing.T) (Dataset, Dataset) {
+	t.Helper()
+	trainSet, testSet, err := SynthDataset(SynthConfig{
+		Classes: 4, Train: 160, Test: 80, Size: 12, Seed: 9, Noise: 0.4,
+	})
+	if err != nil {
+		t.Fatalf("SynthDataset: %v", err)
+	}
+	return trainSet, testSet
+}
+
+func facadeModel(t *testing.T) *Model {
+	t.Helper()
+	m, err := SmallCNN(ModelConfig{Classes: 4, InputSize: 12, Seed: 3})
+	if err != nil {
+		t.Fatalf("SmallCNN: %v", err)
+	}
+	return m
+}
+
+func TestNewValidatesConfig(t *testing.T) {
+	trainSet, testSet := facadeData(t)
+	if _, err := New(Config{Train: trainSet, Test: testSet}); err == nil {
+		t.Error("missing model did not error")
+	}
+	if _, err := New(Config{Model: facadeModel(t), Test: testSet}); err == nil {
+		t.Error("missing train set did not error")
+	}
+	if _, err := New(Config{Model: facadeModel(t), Train: trainSet, Test: testSet, Mode: Mode(99)}); err == nil {
+		t.Error("unknown mode did not error")
+	}
+}
+
+func TestSessionModesRun(t *testing.T) {
+	trainSet, testSet := facadeData(t)
+	for _, tc := range []struct {
+		name string
+		mode Mode
+		bits int
+	}{
+		{"apt", ModeAPT, 0},
+		{"fixed8", ModeFixed, 8},
+		{"fp32", ModeFP32, 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sess, err := New(Config{
+				Model: facadeModel(t), Train: trainSet, Test: testSet,
+				Epochs: 2, BatchSize: 32, Mode: tc.mode, FixedBits: tc.bits, Seed: 4,
+			})
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			hist, err := sess.Run()
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if len(hist.Epochs) != 2 {
+				t.Fatalf("history has %d epochs, want 2", len(hist.Epochs))
+			}
+			if tc.mode == ModeAPT && sess.Controller() == nil {
+				t.Error("APT session has no controller")
+			}
+			if tc.mode != ModeAPT && sess.Controller() != nil {
+				t.Error("non-APT session has a controller")
+			}
+		})
+	}
+}
+
+func TestSessionAPTSavesResources(t *testing.T) {
+	trainSet, testSet := facadeData(t)
+	sess, err := New(Config{
+		Model: facadeModel(t), Train: trainSet, Test: testSet,
+		Epochs: 3, BatchSize: 32, Mode: ModeAPT, Tmin: 6, Seed: 4,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	hist, err := sess.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if ne := hist.NormalizedEnergy(); ne <= 0 || ne >= 1 {
+		t.Errorf("normalized energy = %v, want in (0,1)", ne)
+	}
+	if ns := hist.NormalizedSize(); ns <= 0 || ns >= 1 {
+		t.Errorf("normalized size = %v, want in (0,1)", ns)
+	}
+}
+
+func TestAugmentFacade(t *testing.T) {
+	trainSet, _ := facadeData(t)
+	aug, err := Augment(trainSet, 2, 12, 1)
+	if err != nil {
+		t.Fatalf("Augment: %v", err)
+	}
+	if aug.Len() != trainSet.Len() {
+		t.Error("Augment changed dataset length")
+	}
+	img, _ := aug.Sample(0)
+	if s := img.Shape(); s[1] != 12 || s[2] != 12 {
+		t.Errorf("augmented shape %v", s)
+	}
+}
+
+func TestSaveLoadModelFacade(t *testing.T) {
+	trainSet, testSet := facadeData(t)
+	m := facadeModel(t)
+	sess, err := New(Config{
+		Model: m, Train: trainSet, Test: testSet,
+		Epochs: 1, BatchSize: 32, Mode: ModeAPT, Tmin: 4, Seed: 4,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := sess.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := SaveModel(&buf, m); err != nil {
+		t.Fatalf("SaveModel: %v", err)
+	}
+	fresh := facadeModel(t)
+	if err := LoadModel(&buf, fresh); err != nil {
+		t.Fatalf("LoadModel: %v", err)
+	}
+	// The loaded model must carry the trained bitwidths.
+	orig, got := m.Params(), fresh.Params()
+	for i := range orig {
+		if orig[i].Bits() != got[i].Bits() {
+			t.Errorf("%s bits %d != %d after load", orig[i].Name, got[i].Bits(), orig[i].Bits())
+		}
+	}
+}
+
+func TestDefaultsFilledIn(t *testing.T) {
+	trainSet, testSet := facadeData(t)
+	sess, err := New(Config{Model: facadeModel(t), Train: trainSet, Test: testSet, Epochs: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if sess.cfg.BatchSize != 64 || sess.cfg.LR != 0.1 || sess.cfg.Seed != 1 {
+		t.Errorf("defaults not applied: %+v", sess.cfg)
+	}
+	if len(sess.cfg.Milestones) == 0 {
+		t.Error("milestones not defaulted")
+	}
+}

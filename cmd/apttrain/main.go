@@ -1,0 +1,139 @@
+// Command apttrain trains one backbone on SynthCIFAR with APT, a fixed
+// bitwidth or fp32, printing per-epoch statistics — the generic training
+// entry point for exploring the library outside the canned experiments.
+//
+// Usage:
+//
+//	apttrain -model resnet20 -classes 10 -epochs 20 -mode apt -tmin 6
+//	apttrain -model smallcnn -mode fixed -bits 12
+//	apttrain -model mobilenetv2 -mode fp32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/models"
+	"repro/internal/optim"
+	"repro/internal/tensor"
+	"repro/internal/train"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "apttrain:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("apttrain", flag.ContinueOnError)
+	modelName := fs.String("model", "resnet20", "backbone: resnet20, resnet110, mobilenetv2, cifarnet, vggsmall, smallcnn")
+	classes := fs.Int("classes", 10, "number of classes")
+	size := fs.Int("size", 16, "input spatial size")
+	width := fs.Float64("width", 0.25, "backbone width multiplier")
+	trainN := fs.Int("train", 1024, "training samples")
+	testN := fs.Int("test", 384, "test samples")
+	epochs := fs.Int("epochs", 18, "training epochs")
+	batch := fs.Int("batch", 64, "mini-batch size")
+	lr := fs.Float64("lr", 0.1, "base learning rate")
+	mode := fs.String("mode", "apt", "training mode: apt, fixed, fp32")
+	bits := fs.Int("bits", 8, "bitwidth for -mode fixed")
+	initBits := fs.Int("init-bits", 6, "APT initial bitwidth")
+	tmin := fs.Float64("tmin", 6.0, "APT Tmin threshold")
+	tmax := fs.Float64("tmax", math.Inf(1), "APT Tmax threshold")
+	noise := fs.Float64("noise", 0.8, "SynthCIFAR pixel-noise level (task difficulty)")
+	seed := fs.Uint64("seed", 42, "master seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := models.Config{Classes: *classes, InputSize: *size, Width: *width, Seed: *seed}
+	var (
+		m   *models.Model
+		err error
+	)
+	switch *modelName {
+	case "resnet20":
+		m, err = models.ResNet20(cfg)
+	case "resnet110":
+		m, err = models.ResNet110(cfg)
+	case "mobilenetv2":
+		m, err = models.MobileNetV2(cfg)
+	case "cifarnet":
+		m, err = models.CifarNet(cfg)
+	case "vggsmall":
+		m, err = models.VGGSmall(cfg)
+	case "smallcnn":
+		m, err = models.SmallCNN(cfg)
+	default:
+		return fmt.Errorf("unknown model %q", *modelName)
+	}
+	if err != nil {
+		return err
+	}
+
+	tr, te, err := data.NewSynth(data.SynthConfig{
+		Classes: *classes, Train: *trainN, Test: *testN, Size: *size,
+		Seed: *seed, Noise: *noise,
+	})
+	if err != nil {
+		return err
+	}
+	aug, err := data.NewAugmented(tr, max(*size/8, 1), *size, tensor.NewRNG(*seed^0xA06))
+	if err != nil {
+		return err
+	}
+
+	tcfg := train.Config{
+		Model: m, Train: aug, Test: te,
+		BatchSize: *batch, Epochs: *epochs,
+		Schedule: optim.StepSchedule{Base: *lr, Milestones: []int{*epochs / 2, *epochs * 3 / 4}, Factor: 0.1},
+		Momentum: 0.9, WeightDecay: 1e-4,
+		Seed: *seed, Log: out,
+	}
+	switch *mode {
+	case "apt":
+		c := core.DefaultConfig()
+		c.InitBits = *initBits
+		c.Tmin = *tmin
+		c.Tmax = *tmax
+		ctrl, err := core.NewController(c, m.Params())
+		if err != nil {
+			return err
+		}
+		tcfg.APT = ctrl
+	case "fixed":
+		if _, err := baselines.FixedBits(m.Params(), *bits); err != nil {
+			return err
+		}
+	case "fp32":
+		if _, err := baselines.FP32(m.Params()); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown mode %q (want apt, fixed or fp32)", *mode)
+	}
+
+	hist, err := train.Run(tcfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\nfinal accuracy  %.4f (best %.4f)\n", hist.FinalAcc(), hist.BestAcc())
+	fmt.Fprintf(out, "training energy %.3f of fp32\n", hist.NormalizedEnergy())
+	fmt.Fprintf(out, "training memory %.3f of fp32\n", hist.NormalizedSize())
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

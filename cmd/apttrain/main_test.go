@@ -1,0 +1,47 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunTrainsTinyModel(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-model", "smallcnn", "-classes", "3", "-size", "12",
+		"-train", "96", "-test", "48", "-epochs", "2", "-batch", "32",
+		"-mode", "apt", "-tmin", "4",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"final accuracy", "training energy", "training memory"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunFixedAndFP32Modes(t *testing.T) {
+	for _, mode := range []string{"fixed", "fp32"} {
+		var out strings.Builder
+		err := run([]string{
+			"-model", "smallcnn", "-classes", "3", "-size", "12",
+			"-train", "64", "-test", "32", "-epochs", "1", "-batch", "32",
+			"-mode", mode, "-bits", "10",
+		}, &out)
+		if err != nil {
+			t.Fatalf("mode %s: %v", mode, err)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-model", "nosuch"}, &out); err == nil {
+		t.Error("unknown model did not error")
+	}
+	if err := run([]string{"-mode", "nosuch"}, &out); err == nil {
+		t.Error("unknown mode did not error")
+	}
+}

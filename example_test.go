@@ -1,0 +1,44 @@
+package repro_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+// Example demonstrates the documented quickstart path end to end on a
+// tiny workload: generate data, augment, train with APT, report savings.
+func Example() {
+	train, test, err := repro.SynthDataset(repro.SynthConfig{
+		Classes: 3, Train: 96, Test: 48, Size: 12, Seed: 1, Noise: 0.3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	aug, err := repro.Augment(train, 1, 12, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := repro.SmallCNN(repro.ModelConfig{Classes: 3, InputSize: 12, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess, err := repro.New(repro.Config{
+		Model: model, Train: aug, Test: test,
+		Epochs: 2, BatchSize: 32, Mode: repro.ModeAPT, Tmin: 6, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	hist, err := sess.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Training at adaptive low precision always costs less than fp32.
+	fmt.Println("saved energy:", hist.NormalizedEnergy() < 1)
+	fmt.Println("saved memory:", hist.NormalizedSize() < 1)
+	// Output:
+	// saved energy: true
+	// saved memory: true
+}

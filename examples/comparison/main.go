@@ -1,0 +1,60 @@
+// Comparison: APT against the fixed-precision regimes of the paper's
+// Figure 2 on one workload — fp32, 16-bit, 8-bit, and APT from a 6-bit
+// start — reporting accuracy, energy and training memory side by side.
+//
+//	go run ./examples/comparison
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	trainSet, testSet, err := repro.SynthDataset(repro.SynthConfig{
+		Classes: 4, Train: 512, Test: 256, Size: 16, Seed: 31, Noise: 0.6,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	aug, err := repro.Augment(trainSet, 2, 16, 32)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type variant struct {
+		label string
+		mode  repro.Mode
+		bits  int
+	}
+	variants := []variant{
+		{"fp32", repro.ModeFP32, 0},
+		{"16-bit fixed", repro.ModeFixed, 16},
+		{"8-bit fixed", repro.ModeFixed, 8},
+		{"APT (6-bit start)", repro.ModeAPT, 0},
+	}
+
+	fmt.Println("method              accuracy   energy(vs fp32)   memory(vs fp32)")
+	for _, v := range variants {
+		model, err := repro.SmallCNN(repro.ModelConfig{Classes: 4, InputSize: 16, Seed: 7})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sess, err := repro.New(repro.Config{
+			Model: model, Train: aug, Test: testSet,
+			Epochs: 12, BatchSize: 64,
+			Mode: v.mode, FixedBits: v.bits, Tmin: 6, InitBits: 6, Seed: 5,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		hist, err := sess.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-19s %6.1f%%    %6.1f%%           %6.1f%%\n",
+			v.label, 100*hist.BestAcc(), 100*hist.NormalizedEnergy(), 100*hist.NormalizedSize())
+	}
+}

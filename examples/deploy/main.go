@@ -1,0 +1,100 @@
+// Deploy: the full edge pipeline the paper's quantization scheme was
+// chosen for — train with APT (quantized weights, adaptive per-layer
+// precision), checkpoint the model with bit-packed weights, then compile
+// it to an integer-only (int8/uint8/int32) inference engine and compare
+// the deployed engine against the float model on held-out data.
+//
+//	go run ./examples/deploy
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/infer"
+	"repro/internal/tensor"
+)
+
+func main() {
+	trainSet, testSet, err := repro.SynthDataset(repro.SynthConfig{
+		Classes: 4, Train: 512, Test: 256, Size: 16, Seed: 61, Noise: 0.5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := repro.SmallCNN(repro.ModelConfig{Classes: 4, InputSize: 16, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. Train in-situ with APT.
+	sess, err := repro.New(repro.Config{
+		Model: model, Train: trainSet, Test: testSet,
+		Epochs: 12, BatchSize: 64, Mode: repro.ModeAPT, Tmin: 6, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	hist, err := sess.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained with APT: accuracy %.1f%%, training energy %.1f%% of fp32\n",
+		100*hist.BestAcc(), 100*hist.NormalizedEnergy())
+
+	// 2. Checkpoint with bit-packed weights.
+	var ckpt bytes.Buffer
+	if err := repro.SaveModel(&ckpt, model); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("checkpoint (bit-packed quantized weights): %.1f KiB\n", float64(ckpt.Len())/1024)
+
+	// 3. Compile to the integer-only engine (calibrating activation
+	// ranges on a training batch).
+	calib := tensor.New(64, 3, 16, 16)
+	for i := 0; i < 64; i++ {
+		img, _ := trainSet.Sample(i)
+		copy(calib.Data()[i*img.Len():(i+1)*img.Len()], img.Data())
+	}
+	engine, err := infer.Compile(model, infer.Config{Calibration: calib})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("int8 engine parameters: %.1f KiB\n", float64(engine.SizeBytes())/1024)
+
+	// 4. Compare deployed vs float accuracy on the test set.
+	n := testSet.Len()
+	x := tensor.New(n, 3, 16, 16)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		img, l := testSet.Sample(i)
+		copy(x.Data()[i*img.Len():(i+1)*img.Len()], img.Data())
+		labels[i] = l
+	}
+	floatLogits, err := model.Net.Forward(x, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	intPred, err := engine.Classify(x)
+	if err != nil {
+		log.Fatal(err)
+	}
+	floatCorrect, intCorrect, agree := 0, 0, 0
+	for i := 0; i < n; i++ {
+		fp := floatLogits.ArgMaxRow(i)
+		if fp == labels[i] {
+			floatCorrect++
+		}
+		if intPred[i] == labels[i] {
+			intCorrect++
+		}
+		if intPred[i] == fp {
+			agree++
+		}
+	}
+	fmt.Printf("\nfloat model accuracy : %.1f%%\n", 100*float64(floatCorrect)/float64(n))
+	fmt.Printf("int8 engine accuracy : %.1f%%\n", 100*float64(intCorrect)/float64(n))
+	fmt.Printf("prediction agreement : %.1f%%\n", 100*float64(agree)/float64(n))
+}

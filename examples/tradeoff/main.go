@@ -1,0 +1,63 @@
+// Trade-off sweep: the paper's Figure 5 knob in miniature, plus the
+// AutoTmin future-work extension.
+//
+// APT exposes one application-specific hyper-parameter, the Gavg
+// threshold Tmin. Sweeping it trades accuracy against training energy and
+// memory; AutoTmin then picks the knee of the sweep automatically ("the
+// smallest threshold within 1% of the best accuracy").
+//
+//	go run ./examples/tradeoff
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	trainSet, testSet, err := repro.SynthDataset(repro.SynthConfig{
+		Classes: 4, Train: 512, Test: 256, Size: 16, Seed: 21, Noise: 0.6,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	aug, err := repro.Augment(trainSet, 2, 16, 22)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tmins := []float64{0.1, 1, 10, 100}
+	var sweep []repro.CalibrationPoint
+	fmt.Println("Tmin     accuracy   energy(vs fp32)   memory(vs fp32)")
+	for _, tmin := range tmins {
+		model, err := repro.SmallCNN(repro.ModelConfig{Classes: 4, InputSize: 16, Seed: 7})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sess, err := repro.New(repro.Config{
+			Model: model, Train: aug, Test: testSet,
+			Epochs: 12, BatchSize: 64,
+			Mode: repro.ModeAPT, Tmin: tmin, InitBits: 6, Seed: 5,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		hist, err := sess.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8g %6.1f%%    %6.1f%%           %6.1f%%\n",
+			tmin, 100*hist.BestAcc(), 100*hist.NormalizedEnergy(), 100*hist.NormalizedSize())
+		sweep = append(sweep, repro.CalibrationPoint{
+			Tmin: tmin, Accuracy: hist.BestAcc(), Energy: hist.NormalizedEnergy(),
+		})
+	}
+
+	pick, err := repro.AutoTmin(sweep, 0.01)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nAutoTmin (within 1%% of best accuracy): Tmin = %g\n", pick)
+}

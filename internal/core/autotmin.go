@@ -1,0 +1,56 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// AutoTmin implements the paper's stated future work (§V): choosing Tmin
+// automatically instead of requiring application-specific knowledge.
+//
+// The selector runs a short calibration sweep — the caller trains briefly
+// at several candidate thresholds and reports (Tmin, accuracy, energy)
+// triples — and picks the knee of the accuracy/energy curve: the smallest
+// Tmin within tolerance of the best observed accuracy. This captures the
+// plateau structure of Figure 5, where accuracy rises quickly up to
+// Tmin ≈ 1 and flattens after, so spending energy past the knee buys
+// little.
+type CalibrationPoint struct {
+	Tmin     float64
+	Accuracy float64
+	Energy   float64 // normalized training energy
+}
+
+// AutoTmin returns the knee-point Tmin from a calibration sweep.
+// tolerance is the acceptable accuracy gap to the sweep's best point
+// (e.g. 0.01 for "within 1%"). An error is returned for an empty sweep or
+// a non-positive tolerance.
+func AutoTmin(points []CalibrationPoint, tolerance float64) (float64, error) {
+	if len(points) == 0 {
+		return 0, fmt.Errorf("core: empty calibration sweep")
+	}
+	if tolerance <= 0 {
+		return 0, fmt.Errorf("core: non-positive tolerance %g", tolerance)
+	}
+	sorted := make([]CalibrationPoint, len(points))
+	copy(sorted, points)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Tmin < sorted[j].Tmin })
+
+	best := math.Inf(-1)
+	for _, p := range sorted {
+		if p.Accuracy > best {
+			best = p.Accuracy
+		}
+	}
+	// Smallest Tmin whose accuracy is within tolerance of the best; ties
+	// on accuracy resolve to the cheaper (lower-energy) point first
+	// because the slice is ascending in Tmin and energy grows with Tmin.
+	for _, p := range sorted {
+		if best-p.Accuracy <= tolerance {
+			return p.Tmin, nil
+		}
+	}
+	// Unreachable: the best point itself is always within tolerance.
+	return sorted[len(sorted)-1].Tmin, nil
+}

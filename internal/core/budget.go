@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/nn"
+	"repro/internal/quant"
+)
+
+// BudgetPolicy is an extension beyond Algorithm 1 for devices with a hard
+// memory ceiling: it applies the same Gavg semantics but keeps the total
+// model size under a bit budget by *re-allocating* precision instead of
+// only growing it. When every starving layer has been topped up the model
+// may exceed the budget; the policy then reclaims bits from the layers
+// with the highest Gavg (the ones that can best afford to lose
+// resolution) until the model fits again.
+//
+// This addresses the deployment gap the paper leaves open: Algorithm 1
+// with Tmax = ∞ grows monotonically, which an edge device with fixed RAM
+// cannot accept.
+type BudgetPolicy struct {
+	// Tmin is the starvation threshold, as in Algorithm 1.
+	Tmin float64
+	// BudgetBits is the ceiling on Σ params·bits. Zero disables the
+	// reclamation pass (pure Algorithm 1 growth).
+	BudgetBits int64
+	// MinBits/MaxBits clamp per-layer precision (defaults 2/32).
+	MinBits int
+	MaxBits int
+}
+
+// Apply performs one adjustment round over params using their smoothed
+// metrics (gavg[i] corresponds to params[i]) and returns the changes.
+func (b BudgetPolicy) Apply(params []*nn.Param, gavg []float64) ([]Change, error) {
+	if len(params) != len(gavg) {
+		return nil, fmt.Errorf("core: %d params but %d metrics", len(params), len(gavg))
+	}
+	minBits, maxBits := b.MinBits, b.MaxBits
+	if minBits == 0 {
+		minBits = quant.MinBits
+	}
+	if maxBits == 0 {
+		maxBits = quant.MaxBits
+	}
+	var changes []Change
+
+	// Growth pass: Algorithm 1's lower-threshold rule.
+	for i, p := range params {
+		if gavg[i] < b.Tmin && p.Bits() < maxBits {
+			from := p.Bits()
+			if err := p.SetBits(from + 1); err != nil {
+				return nil, fmt.Errorf("core: budget grow %s: %w", p.Name, err)
+			}
+			changes = append(changes, Change{Param: p.Name, From: from, To: from + 1, Gavg: gavg[i]})
+		}
+	}
+	if b.BudgetBits <= 0 {
+		return changes, nil
+	}
+
+	// Reclamation pass: while over budget, shave one bit off the layer
+	// with the highest metric that still has headroom above MinBits.
+	type cand struct {
+		idx  int
+		gavg float64
+	}
+	for totalBits(params) > b.BudgetBits {
+		cands := make([]cand, 0, len(params))
+		for i, p := range params {
+			if p.Bits() > minBits {
+				cands = append(cands, cand{idx: i, gavg: gavg[i]})
+			}
+		}
+		if len(cands) == 0 {
+			return changes, fmt.Errorf("core: budget %d bits unreachable: every layer at the %d-bit floor", b.BudgetBits, minBits)
+		}
+		sort.Slice(cands, func(a, b int) bool { return cands[a].gavg > cands[b].gavg })
+		p := params[cands[0].idx]
+		from := p.Bits()
+		if err := p.SetBits(from - 1); err != nil {
+			return nil, fmt.Errorf("core: budget shrink %s: %w", p.Name, err)
+		}
+		changes = append(changes, Change{Param: p.Name, From: from, To: from - 1, Gavg: cands[0].gavg})
+	}
+	return changes, nil
+}
+
+func totalBits(params []*nn.Param) int64 {
+	var n int64
+	for _, p := range params {
+		n += quant.SizeBits(p.Value.Len(), p.Bits())
+	}
+	return n
+}

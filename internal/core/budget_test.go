@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/nn"
+	"repro/internal/quant"
+	"repro/internal/tensor"
+)
+
+func budgetParams(t *testing.T, sizes []int, bits int) []*nn.Param {
+	t.Helper()
+	rng := tensor.NewRNG(17)
+	ps := make([]*nn.Param, len(sizes))
+	for i, n := range sizes {
+		v := tensor.New(n)
+		v.FillNormal(rng, 0, 1)
+		ps[i] = nn.NewParam(string(rune('a'+i)), v)
+		if err := ps[i].SetBits(bits); err != nil {
+			t.Fatalf("SetBits: %v", err)
+		}
+	}
+	return ps
+}
+
+func TestBudgetPolicyGrowsStarvingLayers(t *testing.T) {
+	ps := budgetParams(t, []int{100, 100}, 6)
+	pol := BudgetPolicy{Tmin: 1.0}
+	changes, err := pol.Apply(ps, []float64{0.1, 5.0})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if len(changes) != 1 || changes[0].Param != "a" || changes[0].To != 7 {
+		t.Fatalf("changes = %+v, want a: 6->7", changes)
+	}
+	if ps[0].Bits() != 7 || ps[1].Bits() != 6 {
+		t.Errorf("bits = (%d, %d), want (7, 6)", ps[0].Bits(), ps[1].Bits())
+	}
+}
+
+func TestBudgetPolicyReclaimsFromRichest(t *testing.T) {
+	ps := budgetParams(t, []int{100, 100, 100}, 8)
+	// Budget allows only 22 bits total across the three layers' 300
+	// params: 300*8 = 2400 > 2200, so 2 bits must be shaved — from the
+	// layers with the highest Gavg first.
+	pol := BudgetPolicy{Tmin: 0.01, BudgetBits: 2200}
+	changes, err := pol.Apply(ps, []float64{0.5, 100.0, 50.0})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if ps[1].Bits() >= 8 {
+		t.Errorf("highest-Gavg layer kept %d bits", ps[1].Bits())
+	}
+	if totalBits(ps) > 2200 {
+		t.Errorf("still over budget: %d > 2200", totalBits(ps))
+	}
+	if ps[0].Bits() != 8 {
+		t.Errorf("starving-ish layer lost bits first: %d", ps[0].Bits())
+	}
+	if len(changes) == 0 {
+		t.Error("no changes recorded")
+	}
+}
+
+func TestBudgetPolicyUnreachableBudget(t *testing.T) {
+	ps := budgetParams(t, []int{100}, quant.MinBits)
+	pol := BudgetPolicy{Tmin: 0.001, BudgetBits: 10} // 100 params can never fit 10 bits
+	if _, err := pol.Apply(ps, []float64{5}); err == nil {
+		t.Error("unreachable budget did not error")
+	}
+}
+
+func TestBudgetPolicyMetricMismatch(t *testing.T) {
+	ps := budgetParams(t, []int{10}, 6)
+	pol := BudgetPolicy{Tmin: 1}
+	if _, err := pol.Apply(ps, []float64{1, 2}); err == nil {
+		t.Error("metric length mismatch did not error")
+	}
+}
+
+// Property: after Apply, the model is within budget whenever the budget
+// is attainable, and every bitwidth stays in [MinBits, MaxBits].
+func TestBudgetPolicyInvariantProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		n := 2 + rng.Intn(4)
+		sizes := make([]int, n)
+		var elems int64
+		for i := range sizes {
+			sizes[i] = 10 + rng.Intn(100)
+			elems += int64(sizes[i])
+		}
+		ps := make([]*nn.Param, n)
+		gavg := make([]float64, n)
+		for i, sz := range sizes {
+			v := tensor.New(sz)
+			v.FillNormal(rng, 0, 1)
+			ps[i] = nn.NewParam("p", v)
+			if err := ps[i].SetBits(quant.MinBits + rng.Intn(12)); err != nil {
+				return false
+			}
+			gavg[i] = 100 * rng.Float64()
+		}
+		// Budget somewhere between the floor and a roomy ceiling.
+		floor := elems * int64(quant.MinBits)
+		budget := floor + int64(rng.Intn(int(elems*14)))
+		pol := BudgetPolicy{Tmin: 1.0, BudgetBits: budget}
+		if _, err := pol.Apply(ps, gavg); err != nil {
+			return false
+		}
+		if totalBits(ps) > budget {
+			return false
+		}
+		for _, p := range ps {
+			if p.Bits() < quant.MinBits || p.Bits() > quant.MaxBits {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,427 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/nn"
+	"repro/internal/quant"
+	"repro/internal/tensor"
+)
+
+func makeParams(t *testing.T, n, size int) []*nn.Param {
+	t.Helper()
+	rng := tensor.NewRNG(7)
+	ps := make([]*nn.Param, n)
+	for i := range ps {
+		v := tensor.New(size)
+		v.FillNormal(rng, 0, 1)
+		ps[i] = nn.NewParam("p"+string(rune('a'+i)), v)
+	}
+	return ps
+}
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		ok     bool
+	}{
+		{"default", func(*Config) {}, true},
+		{"init too low", func(c *Config) { c.InitBits = 1 }, false},
+		{"init too high", func(c *Config) { c.InitBits = 33 }, false},
+		{"tmin >= tmax", func(c *Config) { c.Tmin, c.Tmax = 5, 5 }, false},
+		{"zero interval", func(c *Config) { c.Interval = 0 }, false},
+		{"bad ema", func(c *Config) { c.EMADecay = 0 }, false},
+		{"ema > 1", func(c *Config) { c.EMADecay = 1.5 }, false},
+		{"zero step", func(c *Config) { c.Step = 0 }, false},
+		{"finite tmax", func(c *Config) { c.Tmax = 50 }, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			if tc.ok && err != nil {
+				t.Errorf("Validate: %v", err)
+			}
+			if !tc.ok && err == nil {
+				t.Error("Validate accepted invalid config")
+			}
+		})
+	}
+}
+
+func TestControllerInitializesBits(t *testing.T) {
+	ps := makeParams(t, 3, 32)
+	cfg := DefaultConfig()
+	cfg.InitBits = 5
+	if _, err := NewController(cfg, ps); err != nil {
+		t.Fatalf("NewController: %v", err)
+	}
+	for _, p := range ps {
+		if p.Bits() != 5 {
+			t.Errorf("%s bits = %d, want 5", p.Name, p.Bits())
+		}
+	}
+}
+
+func TestPolicyRaisesOnStarvation(t *testing.T) {
+	// A parameter with tiny gradients relative to eps (Gavg < Tmin) must
+	// gain exactly Step bits at the epoch boundary.
+	ps := makeParams(t, 1, 64)
+	cfg := DefaultConfig()
+	cfg.InitBits = 6
+	cfg.Tmin = 1.0
+	cfg.Interval = 1
+	ctrl, err := NewController(cfg, ps)
+	if err != nil {
+		t.Fatalf("NewController: %v", err)
+	}
+	p := ps[0]
+	// Gradient far below eps -> underflow -> Gavg ~ 0.01.
+	eps := p.Eps()
+	p.Grad.Fill(eps / 100)
+	ctrl.ObserveBatch()
+	changes, err := ctrl.AdjustEpoch()
+	if err != nil {
+		t.Fatalf("AdjustEpoch: %v", err)
+	}
+	if len(changes) != 1 || changes[0].From != 6 || changes[0].To != 7 {
+		t.Fatalf("changes = %+v, want one 6->7", changes)
+	}
+	if p.Bits() != 7 {
+		t.Errorf("bits = %d, want 7", p.Bits())
+	}
+}
+
+func TestPolicyLowersOnOversupply(t *testing.T) {
+	ps := makeParams(t, 1, 64)
+	cfg := DefaultConfig()
+	cfg.InitBits = 8
+	cfg.Tmin = 0.5
+	cfg.Tmax = 10
+	cfg.Interval = 1
+	ctrl, err := NewController(cfg, ps)
+	if err != nil {
+		t.Fatalf("NewController: %v", err)
+	}
+	p := ps[0]
+	p.Grad.Fill(p.Eps() * 100) // Gavg ~ 100 > Tmax
+	ctrl.ObserveBatch()
+	changes, err := ctrl.AdjustEpoch()
+	if err != nil {
+		t.Fatalf("AdjustEpoch: %v", err)
+	}
+	if len(changes) != 1 || changes[0].To != 7 {
+		t.Fatalf("changes = %+v, want one 8->7", changes)
+	}
+}
+
+func TestPolicyHoldsInBand(t *testing.T) {
+	ps := makeParams(t, 1, 64)
+	cfg := DefaultConfig()
+	cfg.InitBits = 8
+	cfg.Tmin = 0.5
+	cfg.Tmax = 100
+	cfg.Interval = 1
+	ctrl, err := NewController(cfg, ps)
+	if err != nil {
+		t.Fatalf("NewController: %v", err)
+	}
+	p := ps[0]
+	p.Grad.Fill(p.Eps() * 5) // Gavg ~ 5, inside (0.5, 100)
+	ctrl.ObserveBatch()
+	changes, err := ctrl.AdjustEpoch()
+	if err != nil {
+		t.Fatalf("AdjustEpoch: %v", err)
+	}
+	if len(changes) != 0 {
+		t.Fatalf("changes = %+v, want none", changes)
+	}
+}
+
+func TestPolicyClampsAtBounds(t *testing.T) {
+	ps := makeParams(t, 1, 64)
+	cfg := DefaultConfig()
+	cfg.InitBits = quant.MaxBits
+	cfg.Tmin = 1e6 // always starving
+	cfg.Interval = 1
+	ctrl, err := NewController(cfg, ps)
+	if err != nil {
+		t.Fatalf("NewController: %v", err)
+	}
+	ps[0].Grad.Fill(1e-12)
+	ctrl.ObserveBatch()
+	if _, err := ctrl.AdjustEpoch(); err != nil {
+		t.Fatalf("AdjustEpoch: %v", err)
+	}
+	if ps[0].Bits() != quant.MaxBits {
+		t.Errorf("bits exceeded MaxBits: %d", ps[0].Bits())
+	}
+
+	// Lower clamp.
+	ps2 := makeParams(t, 1, 64)
+	cfg2 := DefaultConfig()
+	cfg2.InitBits = quant.MinBits
+	cfg2.Tmin = 1e-9
+	cfg2.Tmax = 1e-6 // always over-supplied
+	cfg2.Interval = 1
+	ctrl2, err := NewController(cfg2, ps2)
+	if err != nil {
+		t.Fatalf("NewController: %v", err)
+	}
+	ps2[0].Grad.Fill(100)
+	ctrl2.ObserveBatch()
+	if _, err := ctrl2.AdjustEpoch(); err != nil {
+		t.Fatalf("AdjustEpoch: %v", err)
+	}
+	if ps2[0].Bits() != quant.MinBits {
+		t.Errorf("bits fell below MinBits: %d", ps2[0].Bits())
+	}
+}
+
+// Property: Algorithm 1 never drives any bitwidth outside
+// [MinBits, MaxBits], whatever the gradient stream, and one AdjustEpoch
+// moves each layer by at most Step.
+func TestPolicyInvariantsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		ps := make([]*nn.Param, 3)
+		for i := range ps {
+			v := tensor.New(16)
+			v.FillNormal(rng, 0, 1)
+			ps[i] = nn.NewParam("p", v)
+		}
+		cfg := DefaultConfig()
+		cfg.InitBits = quant.MinBits + rng.Intn(quant.MaxBits-quant.MinBits)
+		cfg.Tmin = math.Pow(10, 4*rng.Float64()-2)
+		cfg.Tmax = cfg.Tmin * (1 + 10*rng.Float64()) * 1.01
+		cfg.Interval = 1
+		cfg.Step = 1 + rng.Intn(2)
+		ctrl, err := NewController(cfg, ps)
+		if err != nil {
+			return false
+		}
+		for epoch := 0; epoch < 10; epoch++ {
+			prev := make([]int, len(ps))
+			for i, p := range ps {
+				prev[i] = p.Bits()
+				p.Grad.FillNormal(rng, 0, float32(math.Pow(10, 3*rng.Float64()-4)))
+			}
+			ctrl.ObserveBatch()
+			if _, err := ctrl.AdjustEpoch(); err != nil {
+				return false
+			}
+			for i, p := range ps {
+				k := p.Bits()
+				if k < quant.MinBits || k > quant.MaxBits {
+					return false
+				}
+				if d := k - prev[i]; d > cfg.Step || d < -cfg.Step {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEMASmoothing(t *testing.T) {
+	ps := makeParams(t, 1, 64)
+	cfg := DefaultConfig()
+	cfg.Interval = 1
+	cfg.EMADecay = 0.5
+	ctrl, err := NewController(cfg, ps)
+	if err != nil {
+		t.Fatalf("NewController: %v", err)
+	}
+	p := ps[0]
+	eps := p.Eps()
+	p.Grad.Fill(eps * 4) // Gavg = 4
+	ctrl.ObserveBatch()
+	if g := ctrl.Gavg(p); math.Abs(g-4) > 0.01 {
+		t.Fatalf("first observation Gavg = %v, want 4 (seeded, not decayed)", g)
+	}
+	p.Grad.Fill(eps * 8) // Gavg = 8
+	ctrl.ObserveBatch()
+	if g := ctrl.Gavg(p); math.Abs(g-6) > 0.01 { // 0.5*4 + 0.5*8
+		t.Fatalf("EMA Gavg = %v, want 6", g)
+	}
+}
+
+func TestIntervalSkipsObservations(t *testing.T) {
+	ps := makeParams(t, 1, 64)
+	cfg := DefaultConfig()
+	cfg.Interval = 3
+	ctrl, err := NewController(cfg, ps)
+	if err != nil {
+		t.Fatalf("NewController: %v", err)
+	}
+	p := ps[0]
+	eps := p.Eps()
+	p.Grad.Fill(eps * 4)
+	ctrl.ObserveBatch() // iter 1: sampled (Gavg 4)
+	p.Grad.Fill(eps * 100)
+	ctrl.ObserveBatch() // iter 2: skipped
+	ctrl.ObserveBatch() // iter 3: skipped
+	if g := ctrl.Gavg(p); math.Abs(g-4) > 0.01 {
+		t.Errorf("Gavg = %v, want 4 (iters 2-3 skipped)", g)
+	}
+	ctrl.ObserveBatch() // iter 4: sampled
+	if g := ctrl.Gavg(p); g < 5 {
+		t.Errorf("Gavg = %v, want moved toward 100 after interval", g)
+	}
+}
+
+func TestTracesRecorded(t *testing.T) {
+	ps := makeParams(t, 2, 32)
+	cfg := DefaultConfig()
+	cfg.Interval = 1
+	ctrl, err := NewController(cfg, ps)
+	if err != nil {
+		t.Fatalf("NewController: %v", err)
+	}
+	for epoch := 0; epoch < 4; epoch++ {
+		for _, p := range ps {
+			p.Grad.Fill(p.Eps() / 50)
+		}
+		ctrl.ObserveBatch()
+		if _, err := ctrl.AdjustEpoch(); err != nil {
+			t.Fatalf("AdjustEpoch: %v", err)
+		}
+	}
+	for _, name := range ctrl.TracedParams() {
+		if got := len(ctrl.GavgTrace(name)); got != 4 {
+			t.Errorf("GavgTrace(%s) length = %d, want 4", name, got)
+		}
+		if got := len(ctrl.BitsTrace(name)); got != 4 {
+			t.Errorf("BitsTrace(%s) length = %d, want 4", name, got)
+		}
+	}
+	bits := ctrl.BitsTrace(ctrl.TracedParams()[0])
+	for i := 1; i < len(bits); i++ {
+		if bits[i] < bits[i-1] {
+			t.Error("starved layer lost bits")
+		}
+	}
+}
+
+func TestMeanBitsWeighted(t *testing.T) {
+	rng := tensor.NewRNG(8)
+	big := tensor.New(300)
+	big.FillNormal(rng, 0, 1)
+	small := tensor.New(100)
+	small.FillNormal(rng, 0, 1)
+	ps := []*nn.Param{nn.NewParam("big", big), nn.NewParam("small", small)}
+	cfg := DefaultConfig()
+	ctrl, err := NewController(cfg, ps)
+	if err != nil {
+		t.Fatalf("NewController: %v", err)
+	}
+	if err := ps[0].SetBits(8); err != nil {
+		t.Fatalf("SetBits: %v", err)
+	}
+	if err := ps[1].SetBits(16); err != nil {
+		t.Fatalf("SetBits: %v", err)
+	}
+	want := (300.0*8 + 100.0*16) / 400.0
+	if got := ctrl.MeanBits(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("MeanBits = %v, want %v", got, want)
+	}
+}
+
+func TestUnderflowFractionMetricMode(t *testing.T) {
+	ps := makeParams(t, 1, 64)
+	cfg := DefaultConfig()
+	cfg.Metric = MetricUnderflowFraction
+	cfg.Interval = 1
+	cfg.Tmin = 1.0
+	ctrl, err := NewController(cfg, ps)
+	if err != nil {
+		t.Fatalf("NewController: %v", err)
+	}
+	p := ps[0]
+	p.Grad.Fill(p.Eps() / 10) // every element underflows -> metric ~0
+	ctrl.ObserveBatch()
+	if _, err := ctrl.AdjustEpoch(); err != nil {
+		t.Fatalf("AdjustEpoch: %v", err)
+	}
+	if p.Bits() != cfg.InitBits+1 {
+		t.Errorf("underflow-fraction metric did not raise bits: %d", p.Bits())
+	}
+}
+
+func TestAutoTminKneeSelection(t *testing.T) {
+	points := []CalibrationPoint{
+		{Tmin: 0.1, Accuracy: 0.70, Energy: 0.10},
+		{Tmin: 1.0, Accuracy: 0.905, Energy: 0.20},
+		{Tmin: 10, Accuracy: 0.91, Energy: 0.40},
+		{Tmin: 100, Accuracy: 0.912, Energy: 0.80},
+	}
+	got, err := AutoTmin(points, 0.01)
+	if err != nil {
+		t.Fatalf("AutoTmin: %v", err)
+	}
+	if got != 1.0 {
+		t.Errorf("AutoTmin = %v, want 1.0 (knee within 1%% of best)", got)
+	}
+	tight, err := AutoTmin(points, 0.001)
+	if err != nil {
+		t.Fatalf("AutoTmin: %v", err)
+	}
+	if tight != 100 {
+		t.Errorf("AutoTmin(tight) = %v, want 100", tight)
+	}
+}
+
+func TestAutoTminErrors(t *testing.T) {
+	if _, err := AutoTmin(nil, 0.01); err == nil {
+		t.Error("empty sweep did not error")
+	}
+	if _, err := AutoTmin([]CalibrationPoint{{Tmin: 1, Accuracy: 0.5}}, 0); err == nil {
+		t.Error("zero tolerance did not error")
+	}
+}
+
+// Property: AutoTmin always returns one of the sweep's Tmin values, and
+// its accuracy is within tolerance of the best.
+func TestAutoTminProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		n := 2 + rng.Intn(8)
+		pts := make([]CalibrationPoint, n)
+		for i := range pts {
+			pts[i] = CalibrationPoint{
+				Tmin:     math.Pow(10, 4*rng.Float64()-2),
+				Accuracy: rng.Float64(),
+				Energy:   rng.Float64(),
+			}
+		}
+		tol := 0.001 + 0.1*rng.Float64()
+		got, err := AutoTmin(pts, tol)
+		if err != nil {
+			return false
+		}
+		best := 0.0
+		var acc float64
+		found := false
+		for _, p := range pts {
+			if p.Accuracy > best {
+				best = p.Accuracy
+			}
+			if p.Tmin == got {
+				acc = p.Accuracy
+				found = true
+			}
+		}
+		return found && best-acc <= tol+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,74 @@
+package data
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Augmented wraps a dataset with the paper's CIFAR training augmentation
+// (§IV): pad Pad pixels on each side, take a random Size×Size crop of the
+// padded image or of its horizontal flip. Sampling is randomized through
+// the loader's RNG, so the wrapper itself is stateless; use WithRNG to
+// bind a generator when sampling directly.
+type Augmented struct {
+	base Dataset
+	pad  int
+	size int
+	rng  *tensor.RNG
+}
+
+// NewAugmented wraps base with pad-and-crop plus random flip augmentation.
+// size is the output spatial size (the crop window).
+func NewAugmented(base Dataset, pad, size int, rng *tensor.RNG) (*Augmented, error) {
+	if pad < 0 || size <= 0 {
+		return nil, fmt.Errorf("data: invalid augmentation pad=%d size=%d", pad, size)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("data: augmentation requires an RNG")
+	}
+	return &Augmented{base: base, pad: pad, size: size, rng: rng}, nil
+}
+
+// Len implements Dataset.
+func (a *Augmented) Len() int { return a.base.Len() }
+
+// NumClasses implements Dataset.
+func (a *Augmented) NumClasses() int { return a.base.NumClasses() }
+
+// Sample implements Dataset: it returns a freshly augmented view of the
+// underlying image. Consecutive calls with the same index differ.
+func (a *Augmented) Sample(i int) (*tensor.Tensor, int) {
+	img, label := a.base.Sample(i)
+	out, err := a.apply(img)
+	if err != nil {
+		// Geometry errors are programmer errors (mismatched base size);
+		// surface them loudly rather than training on silent garbage.
+		panic(fmt.Sprintf("data: augmentation failed: %v", err))
+	}
+	return out, label
+}
+
+func (a *Augmented) apply(img *tensor.Tensor) (*tensor.Tensor, error) {
+	padded, err := tensor.Pad2D(img, a.pad)
+	if err != nil {
+		return nil, err
+	}
+	maxOff := padded.Dim(1) - a.size
+	if maxOff < 0 {
+		return nil, fmt.Errorf("crop size %d exceeds padded size %d", a.size, padded.Dim(1))
+	}
+	y, x := 0, 0
+	if maxOff > 0 {
+		y = a.rng.Intn(maxOff + 1)
+		x = a.rng.Intn(maxOff + 1)
+	}
+	crop, err := tensor.Crop2D(padded, y, x, a.size, a.size)
+	if err != nil {
+		return nil, err
+	}
+	if a.rng.Float64() < 0.5 {
+		return tensor.FlipH(crop)
+	}
+	return crop, nil
+}

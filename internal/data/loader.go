@@ -1,0 +1,79 @@
+package data
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Loader iterates a dataset in shuffled mini-batches, assembling NCHW
+// batch tensors. One Loader drives one training run; it is not safe for
+// concurrent use.
+type Loader struct {
+	ds        Dataset
+	batchSize int
+	rng       *tensor.RNG
+	order     []int
+	cursor    int
+}
+
+// NewLoader constructs a loader. A nil rng disables shuffling (evaluation
+// order).
+func NewLoader(ds Dataset, batchSize int, rng *tensor.RNG) (*Loader, error) {
+	if batchSize <= 0 {
+		return nil, fmt.Errorf("data: non-positive batch size %d", batchSize)
+	}
+	if ds.Len() == 0 {
+		return nil, fmt.Errorf("data: empty dataset")
+	}
+	l := &Loader{ds: ds, batchSize: batchSize, rng: rng}
+	l.reset()
+	return l, nil
+}
+
+func (l *Loader) reset() {
+	n := l.ds.Len()
+	if l.rng != nil {
+		l.order = l.rng.Perm(n)
+	} else if l.order == nil {
+		l.order = make([]int, n)
+		for i := range l.order {
+			l.order[i] = i
+		}
+	}
+	l.cursor = 0
+}
+
+// Batches returns the number of batches per epoch (ceiling division).
+func (l *Loader) Batches() int {
+	return (l.ds.Len() + l.batchSize - 1) / l.batchSize
+}
+
+// Next returns the next mini-batch as an (N, C, H, W) tensor plus labels.
+// At the end of an epoch it returns ok=false and reshuffles; the following
+// call starts the next epoch.
+func (l *Loader) Next() (batch *tensor.Tensor, labels []int, ok bool) {
+	if l.cursor >= len(l.order) {
+		l.reset()
+		return nil, nil, false
+	}
+	end := l.cursor + l.batchSize
+	if end > len(l.order) {
+		end = len(l.order)
+	}
+	idx := l.order[l.cursor:end]
+	l.cursor = end
+
+	first, _ := l.ds.Sample(idx[0])
+	shape := first.Shape()
+	n := len(idx)
+	batch = tensor.New(append([]int{n}, shape...)...)
+	labels = make([]int, n)
+	sz := first.Len()
+	for i, id := range idx {
+		img, label := l.ds.Sample(id)
+		copy(batch.Data()[i*sz:(i+1)*sz], img.Data())
+		labels[i] = label
+	}
+	return batch, labels, true
+}

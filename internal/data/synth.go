@@ -1,0 +1,217 @@
+// Package data provides the synthetic stand-in for CIFAR-10/CIFAR-100 plus
+// the paper's augmentation pipeline and a deterministic mini-batch loader.
+//
+// The real CIFAR archives are not available in this offline environment, so
+// SynthCIFAR generates a procedural multi-class image-classification task
+// with the same tensor geometry (3×32×32 by default, 10 or 100 classes):
+// each class is defined by a deterministic texture prototype — a mixture of
+// oriented sinusoidal gratings, a colour field and soft blobs — and each
+// sample perturbs the prototype with instance-level jitter (phase shifts,
+// blob displacement, amplitude scaling) plus pixel noise. The task is
+// learnable but non-trivial: classes overlap in pixel space and separating
+// them requires the convolutional features to pick up orientation and
+// colour statistics, which produces the gradient dynamics (plateaus,
+// per-layer heterogeneity) that drive APT. See DESIGN.md §1 for the
+// substitution rationale.
+package data
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Dataset is a finite supervised image-classification dataset.
+type Dataset interface {
+	// Len returns the number of samples.
+	Len() int
+	// Sample returns the i-th image as a (C, H, W) tensor and its label.
+	// Implementations may return a shared or freshly-allocated tensor;
+	// callers must not mutate it.
+	Sample(i int) (*tensor.Tensor, int)
+	// NumClasses returns the number of distinct labels.
+	NumClasses() int
+}
+
+// SynthConfig configures NewSynth.
+type SynthConfig struct {
+	Classes  int    // number of classes (10 for SynthCIFAR-10, 100 for -100)
+	Train    int    // number of training samples
+	Test     int    // number of test samples
+	Size     int    // spatial size (CIFAR: 32)
+	Channels int    // colour channels (CIFAR: 3)
+	Seed     uint64 // master seed; all content derives from it
+	// Noise is the per-pixel Gaussian noise std in [0,1] image units.
+	// Higher values make the task harder. Default 0.25.
+	Noise float64
+}
+
+func (c *SynthConfig) fill() {
+	if c.Classes == 0 {
+		c.Classes = 10
+	}
+	if c.Size == 0 {
+		c.Size = 32
+	}
+	if c.Channels == 0 {
+		c.Channels = 3
+	}
+	if c.Noise == 0 {
+		c.Noise = 0.25
+	}
+}
+
+// grating is one oriented sinusoid component of a class prototype.
+type grating struct {
+	fx, fy float64    // spatial frequency components
+	phase  float64    // base phase
+	amp    [3]float64 // per-channel amplitude (first Channels used)
+}
+
+// blob is one soft Gaussian bump of a class prototype.
+type blob struct {
+	cx, cy float64    // centre in [0,1] image coordinates
+	sigma  float64    // radius
+	amp    [3]float64 // per-channel amplitude
+}
+
+// classProto is the deterministic generative description of one class.
+type classProto struct {
+	gratings []grating
+	blobs    []blob
+	base     [3]float64 // per-channel DC colour
+}
+
+// Synth is the procedural SynthCIFAR dataset. It pre-generates the full
+// train and test splits at construction so sampling is cheap and the
+// loader stays deterministic.
+type Synth struct {
+	cfg    SynthConfig
+	images []*tensor.Tensor
+	labels []int
+}
+
+// NewSynth generates both splits and returns them as two datasets sharing
+// one generative model. An error is returned for non-positive sizes.
+func NewSynth(cfg SynthConfig) (train, test *Synth, err error) {
+	cfg.fill()
+	if cfg.Train <= 0 || cfg.Test <= 0 {
+		return nil, nil, fmt.Errorf("data: non-positive split sizes train=%d test=%d", cfg.Train, cfg.Test)
+	}
+	if cfg.Classes < 2 {
+		return nil, nil, fmt.Errorf("data: need at least 2 classes, got %d", cfg.Classes)
+	}
+	rng := tensor.NewRNG(cfg.Seed)
+	protos := make([]classProto, cfg.Classes)
+	for c := range protos {
+		protos[c] = makeProto(rng.Split())
+	}
+	gen := func(n int, seed *tensor.RNG) *Synth {
+		s := &Synth{cfg: cfg, images: make([]*tensor.Tensor, n), labels: make([]int, n)}
+		for i := 0; i < n; i++ {
+			label := i % cfg.Classes // balanced classes
+			s.labels[i] = label
+			s.images[i] = renderSample(protos[label], cfg, seed.Split())
+		}
+		return s
+	}
+	return gen(cfg.Train, rng.Split()), gen(cfg.Test, rng.Split()), nil
+}
+
+func makeProto(rng *tensor.RNG) classProto {
+	var p classProto
+	ng := 2 + rng.Intn(2) // 2–3 gratings
+	for i := 0; i < ng; i++ {
+		freq := 1.5 + 6*rng.Float64() // cycles across the image
+		theta := 2 * math.Pi * rng.Float64()
+		g := grating{
+			fx:    freq * math.Cos(theta),
+			fy:    freq * math.Sin(theta),
+			phase: 2 * math.Pi * rng.Float64(),
+		}
+		for ch := range g.amp {
+			g.amp[ch] = 0.15 + 0.25*rng.Float64()
+		}
+		p.gratings = append(p.gratings, g)
+	}
+	nb := 1 + rng.Intn(2) // 1–2 blobs
+	for i := 0; i < nb; i++ {
+		b := blob{
+			cx:    0.2 + 0.6*rng.Float64(),
+			cy:    0.2 + 0.6*rng.Float64(),
+			sigma: 0.08 + 0.12*rng.Float64(),
+		}
+		for ch := range b.amp {
+			b.amp[ch] = (rng.Float64() - 0.5) * 0.9
+		}
+		p.blobs = append(p.blobs, b)
+	}
+	for ch := range p.base {
+		p.base[ch] = 0.35 + 0.3*rng.Float64()
+	}
+	return p
+}
+
+func renderSample(p classProto, cfg SynthConfig, rng *tensor.RNG) *tensor.Tensor {
+	sz := cfg.Size
+	img := tensor.New(cfg.Channels, sz, sz)
+	d := img.Data()
+	// Instance jitter: phase offsets, blob displacement, amplitude scale.
+	phaseJit := make([]float64, len(p.gratings))
+	for i := range phaseJit {
+		phaseJit[i] = (rng.Float64() - 0.5) * 1.2
+	}
+	dxs := make([]float64, len(p.blobs))
+	dys := make([]float64, len(p.blobs))
+	for i := range p.blobs {
+		dxs[i] = (rng.Float64() - 0.5) * 0.15
+		dys[i] = (rng.Float64() - 0.5) * 0.15
+	}
+	ampScale := 0.8 + 0.4*rng.Float64()
+
+	inv := 1 / float64(sz)
+	for ch := 0; ch < cfg.Channels; ch++ {
+		for y := 0; y < sz; y++ {
+			fy := float64(y) * inv
+			for x := 0; x < sz; x++ {
+				fx := float64(x) * inv
+				v := p.base[ch%3]
+				for gi, g := range p.gratings {
+					v += ampScale * g.amp[ch%3] * math.Sin(2*math.Pi*(g.fx*fx+g.fy*fy)+g.phase+phaseJit[gi])
+				}
+				for bi, b := range p.blobs {
+					ddx := fx - (b.cx + dxs[bi])
+					ddy := fy - (b.cy + dys[bi])
+					v += b.amp[ch%3] * math.Exp(-(ddx*ddx+ddy*ddy)/(2*b.sigma*b.sigma))
+				}
+				d[(ch*sz+y)*sz+x] = float32(v)
+			}
+		}
+	}
+	// Pixel noise, then normalise roughly to zero mean unit-ish scale,
+	// mirroring the mean/std normalisation of CIFAR pipelines.
+	noise := float32(cfg.Noise)
+	for i := range d {
+		d[i] += noise * float32(rng.Norm())
+		d[i] = (d[i] - 0.5) * 2
+	}
+	return img
+}
+
+// Len implements Dataset.
+func (s *Synth) Len() int { return len(s.images) }
+
+// NumClasses implements Dataset.
+func (s *Synth) NumClasses() int { return s.cfg.Classes }
+
+// Sample implements Dataset.
+func (s *Synth) Sample(i int) (*tensor.Tensor, int) {
+	return s.images[i], s.labels[i]
+}
+
+// Size returns the spatial size of the images.
+func (s *Synth) Size() int { return s.cfg.Size }
+
+// Channels returns the number of colour channels.
+func (s *Synth) Channels() int { return s.cfg.Channels }

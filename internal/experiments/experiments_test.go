@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	// Every paper artefact must be registered: Figures 1-5 and Table I.
+	want := []string{"fig1", "fig2", "fig3", "fig4", "fig5", "table1"}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("IDs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("IDs = %v, want %v", got, want)
+		}
+	}
+	for _, id := range want {
+		if _, err := ByID(id); err != nil {
+			t.Errorf("ByID(%s): %v", id, err)
+		}
+	}
+	if _, err := ByID("fig9"); err == nil {
+		t.Error("unknown id did not error")
+	}
+}
+
+func TestScaleByName(t *testing.T) {
+	for _, name := range []string{"micro", "ci", "paper"} {
+		s, err := ScaleByName(name)
+		if err != nil {
+			t.Errorf("ScaleByName(%s): %v", name, err)
+		}
+		if s.Name != name {
+			t.Errorf("ScaleByName(%s).Name = %s", name, s.Name)
+		}
+	}
+	if s, err := ScaleByName(""); err != nil || s.Name != "ci" {
+		t.Errorf("empty scale = (%v, %v), want ci default", s.Name, err)
+	}
+	if _, err := ScaleByName("huge"); err == nil {
+		t.Error("unknown scale did not error")
+	}
+}
+
+func TestScaleProfilesAreOrdered(t *testing.T) {
+	m, c, p := Micro(), CI(), Paper()
+	if !(m.TrainN < c.TrainN && c.TrainN < p.TrainN) {
+		t.Error("train sizes not increasing across profiles")
+	}
+	if !(m.Epochs < c.Epochs && c.Epochs < p.Epochs) {
+		t.Error("epochs not increasing across profiles")
+	}
+	if p.Epochs != 200 || p.InputSize != 32 || p.Width != 1.0 {
+		t.Errorf("paper profile deviates from §IV geometry: %+v", p)
+	}
+	if p.Milestones[0] != 100 || p.Milestones[1] != 150 {
+		t.Errorf("paper milestones %v, want [100 150]", p.Milestones)
+	}
+	if p.Pad != 4 {
+		t.Errorf("paper augmentation pad %d, want 4", p.Pad)
+	}
+}
+
+func TestScaleBuilders(t *testing.T) {
+	s := Micro()
+	tr, te, err := s.Dataset(10, 0)
+	if err != nil {
+		t.Fatalf("Dataset: %v", err)
+	}
+	if tr.Len() != s.TrainN || te.Len() != s.TestN {
+		t.Errorf("dataset sizes (%d, %d)", tr.Len(), te.Len())
+	}
+	if _, err := s.ResNet20(10); err != nil {
+		t.Errorf("ResNet20: %v", err)
+	}
+	if _, err := s.MobileNetV2(10); err != nil {
+		t.Errorf("MobileNetV2: %v", err)
+	}
+	if _, err := s.SmallCNN(10); err != nil {
+		t.Errorf("SmallCNN: %v", err)
+	}
+	if lr := s.Schedule().LR(0); lr != s.LR {
+		t.Errorf("schedule base LR = %v", lr)
+	}
+	if lr := s.ScheduleWarmup().LR(0); lr != 0.01 {
+		t.Errorf("warmup LR = %v, want 0.01", lr)
+	}
+}
+
+func TestClasses100Scaling(t *testing.T) {
+	if got := Micro().classes100(); got != 10 {
+		t.Errorf("micro classes100 = %d, want 10", got)
+	}
+	if got := CI().classes100(); got != 20 {
+		t.Errorf("ci classes100 = %d, want 20", got)
+	}
+	if got := Paper().classes100(); got != 100 {
+		t.Errorf("paper classes100 = %d, want 100", got)
+	}
+}
+
+func TestReportRenderAndCSV(t *testing.T) {
+	r := NewReport("figX", "A Title", "col1", "column2")
+	r.AddRow("a", "1")
+	r.AddRow("bb", "2,3")
+	r.AddNote("hello %d", 42)
+	r.SetSeries("s", []float64{1, 2})
+
+	out := r.Render()
+	for _, want := range []string{"figX", "A Title", "col1", "column2", "bb", "note: hello 42"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q in:\n%s", want, out)
+		}
+	}
+	csv := r.CSV()
+	if !strings.Contains(csv, "col1,column2") {
+		t.Errorf("CSV header missing: %q", csv)
+	}
+	if !strings.Contains(csv, `"2,3"`) {
+		t.Errorf("CSV did not quote comma cell: %q", csv)
+	}
+	if len(r.Series["s"]) != 2 {
+		t.Error("series not stored")
+	}
+}
+
+func TestIsWeight(t *testing.T) {
+	if !isWeight("resnet20.stem.conv.weight") {
+		t.Error("conv weight not recognized")
+	}
+	if isWeight("resnet20.stem.bn.gamma") || isWeight("weight") {
+		t.Error("non-weight recognized")
+	}
+}
+
+// TestFig1MicroShape runs the cheapest full experiment end-to-end and
+// checks the paper's qualitative shape: layer A starts below Tmin, gains
+// bits monotonically while starving, and its Gavg recovers toward the
+// threshold. Skipped in -short mode (a few seconds of training).
+func TestFig1MicroShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training run")
+	}
+	rep, err := Fig1(Micro(), io.Discard)
+	if err != nil {
+		t.Fatalf("Fig1: %v", err)
+	}
+	ga := rep.Series["gavgA"]
+	ba := rep.Series["bitsA"]
+	if len(ga) != Micro().Epochs || len(ba) != len(ga) {
+		t.Fatalf("trace lengths %d/%d, want %d", len(ga), len(ba), Micro().Epochs)
+	}
+	if ga[0] >= 1.0 {
+		t.Errorf("layer A first Gavg = %v, want < Tmin=1 (starving layer)", ga[0])
+	}
+	// Bits never decrease with Tmax = inf.
+	for i := 1; i < len(ba); i++ {
+		if ba[i] < ba[i-1] {
+			t.Fatalf("bits decreased at epoch %d with Tmax=inf", i)
+		}
+	}
+	if ba[len(ba)-1] <= ba[0] {
+		t.Error("starving layer gained no bits")
+	}
+	// Gavg of layer A improves as precision rises.
+	if ga[len(ga)-1] <= ga[0] {
+		t.Errorf("layer A Gavg did not recover: %v -> %v", ga[0], ga[len(ga)-1])
+	}
+}

@@ -1,0 +1,197 @@
+package infer
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// stage is one fold-level unit of the float graph: a conv or linear with
+// folded BN and an optional fused ReLU, or a passthrough pooling/reshape
+// layer. It carries both a float evaluator (for calibration) and the
+// lowering rule.
+type stage struct {
+	label string
+
+	// conv/linear payload (nil for passthrough stages)
+	weight *tensor.Tensor // conv: (outC, inC, KH, KW); linear: (out, in)
+	bias   []float32
+	geom   *tensor.ConvGeom // nil for linear
+	relu   bool
+	relu6  bool
+
+	// passthrough payload
+	pass nn.Layer
+}
+
+// foldSequential walks a flat layer list, folding Conv→BN(→ReLU) and
+// Linear(→ReLU) into stages and passing pooling/flatten through.
+// Residual blocks and other containers are rejected.
+func foldSequential(layers []nn.Layer) ([]*stage, error) {
+	flat, err := flatten(layers)
+	if err != nil {
+		return nil, err
+	}
+	var stages []*stage
+	for i := 0; i < len(flat); i++ {
+		switch l := flat[i].(type) {
+		case *nn.Conv2D:
+			st := &stage{label: l.Name()}
+			g := l.Geom()
+			st.geom = &g
+			st.weight = l.Params()[0].Value.Clone()
+			outC := st.weight.Dim(0)
+			st.bias = make([]float32, outC)
+			if ps := l.Params(); len(ps) > 1 {
+				copy(st.bias, ps[1].Value.Data())
+			}
+			i += foldBNReLU(st, flat, i)
+			stages = append(stages, st)
+		case *nn.Linear:
+			st := &stage{label: l.Name()}
+			st.weight = l.Params()[0].Value.Clone()
+			out := st.weight.Dim(0)
+			st.bias = make([]float32, out)
+			if ps := l.Params(); len(ps) > 1 {
+				copy(st.bias, ps[1].Value.Data())
+			}
+			if i+1 < len(flat) {
+				if _, ok := flat[i+1].(*nn.ReLU); ok {
+					st.relu = true
+					i++
+				}
+			}
+			stages = append(stages, st)
+		case *nn.MaxPool2D, *nn.GlobalAvgPool, *nn.Flatten:
+			stages = append(stages, &stage{label: l.Name(), pass: l})
+		case *nn.BatchNorm2D:
+			return nil, fmt.Errorf("infer: batch-norm %q not preceded by a convolution", l.Name())
+		case *nn.ReLU:
+			return nil, fmt.Errorf("infer: bare activation %q cannot be fused", l.Name())
+		default:
+			return nil, fmt.Errorf("infer: unsupported layer %T (%s); integer lowering handles sequential conv backbones", l, l.Name())
+		}
+	}
+	return stages, nil
+}
+
+// foldBNReLU consumes a following BatchNorm2D and ReLU if present,
+// folding them into st; it returns how many layers were consumed.
+func foldBNReLU(st *stage, flat []nn.Layer, i int) int {
+	consumed := 0
+	if i+1 < len(flat) {
+		if bn, ok := flat[i+1].(*nn.BatchNorm2D); ok {
+			foldBN(st, bn)
+			consumed++
+		}
+	}
+	if i+consumed+1 < len(flat) {
+		if r, ok := flat[i+consumed+1].(*nn.ReLU); ok {
+			_ = r
+			st.relu = true
+			consumed++
+		}
+	}
+	return consumed
+}
+
+// foldBN rescales st's weights and bias by the batch-norm affine:
+// w' = w·γ/σ, b' = (b − μ)·γ/σ + β, using the BN's running statistics.
+func foldBN(st *stage, bn *nn.BatchNorm2D) {
+	mean, variance := bn.RunningStats()
+	ps := bn.Params()
+	gamma := ps[0].Value.Data()
+	beta := ps[1].Value.Data()
+	outC := st.weight.Dim(0)
+	per := st.weight.Len() / outC
+	wd := st.weight.Data()
+	for c := 0; c < outC; c++ {
+		std := float32(math.Sqrt(variance[c] + 1e-5))
+		scale := gamma[c] / std
+		for j := 0; j < per; j++ {
+			wd[c*per+j] *= scale
+		}
+		st.bias[c] = (st.bias[c]-float32(mean[c]))*scale + beta[c]
+	}
+}
+
+// flatten expands Sequential containers into a flat list.
+func flatten(layers []nn.Layer) ([]nn.Layer, error) {
+	var out []nn.Layer
+	for _, l := range layers {
+		switch v := l.(type) {
+		case *nn.Sequential:
+			inner, err := flatten(v.Layers())
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, inner...)
+		case *nn.Residual:
+			return nil, fmt.Errorf("infer: residual block %q: integer lowering supports sequential backbones only", v.Name())
+		default:
+			out = append(out, l)
+		}
+	}
+	return out, nil
+}
+
+// floatForward evaluates the stage on float tensors (calibration pass).
+func (st *stage) floatForward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	if st.pass != nil {
+		return st.pass.Forward(x, false)
+	}
+	if st.geom != nil {
+		return st.convFloat(x)
+	}
+	return st.linearFloat(x)
+}
+
+func (st *stage) convFloat(x *tensor.Tensor) (*tensor.Tensor, error) {
+	g := *st.geom
+	n := x.Dim(0)
+	oh, ow := g.OutHW()
+	outC := st.weight.Dim(0)
+	out := tensor.New(n, outC, oh, ow)
+	for i := 0; i < n; i++ {
+		img, err := tensor.FromSlice(
+			x.Data()[i*g.InC*g.InH*g.InW:(i+1)*g.InC*g.InH*g.InW], g.InC, g.InH, g.InW)
+		if err != nil {
+			return nil, err
+		}
+		res, err := tensor.ConvDirect(img, st.weight, g)
+		if err != nil {
+			return nil, err
+		}
+		copy(out.Data()[i*outC*oh*ow:(i+1)*outC*oh*ow], res.Data())
+	}
+	st.addBiasAct(out, outC, oh*ow)
+	return out, nil
+}
+
+func (st *stage) linearFloat(x *tensor.Tensor) (*tensor.Tensor, error) {
+	out, err := tensor.MatMulTransB(x, st.weight)
+	if err != nil {
+		return nil, err
+	}
+	st.addBiasAct(out, st.weight.Dim(0), 1)
+	return out, nil
+}
+
+func (st *stage) addBiasAct(out *tensor.Tensor, channels, plane int) {
+	d := out.Data()
+	n := out.Dim(0)
+	for i := 0; i < n; i++ {
+		for c := 0; c < channels; c++ {
+			b := st.bias[c]
+			row := d[(i*channels+c)*plane : (i*channels+c+1)*plane]
+			for j := range row {
+				row[j] += b
+				if st.relu && row[j] < 0 {
+					row[j] = 0
+				}
+			}
+		}
+	}
+}

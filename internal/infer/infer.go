@@ -1,0 +1,168 @@
+// Package infer compiles a trained float model into an integer-only
+// inference engine, completing the edge-deployment story of the paper's
+// quantization scheme: §III adopts the affine map r = S(q − Z) from Jacob
+// et al. (CVPR 2018) precisely because it admits integer-arithmetic-only
+// inference, and a model trained with APT is deployed this way.
+//
+// Compilation performs the standard pipeline:
+//
+//  1. batch-norm folding — each Conv→BN pair collapses into one
+//     convolution with rescaled weights and a bias;
+//  2. range calibration — a calibration batch runs through the float
+//     graph recording each activation tensor's min/max;
+//  3. integer lowering — weights become symmetric int8 (zero point 0),
+//     activations affine uint8; convolutions and linears accumulate in
+//     int32 and requantize with the float multiplier M = S_x·S_w / S_y,
+//     fusing the ReLU as a clamp at the output zero point.
+//
+// Supported graphs are the sequential backbones (SmallCNN, CifarNet,
+// VGGSmall): Conv2D, BatchNorm2D, ReLU, MaxPool2D, GlobalAvgPool,
+// Flatten, Linear. Residual topologies would additionally need a
+// rescaling integer add; they are rejected at compile time.
+package infer
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/models"
+	"repro/internal/tensor"
+)
+
+// qtensor is an affine-quantized activation: uint8 payload with scale and
+// zero point, NCHW.
+type qtensor struct {
+	shape []int
+	data  []uint8
+	scale float32
+	zero  int32
+}
+
+func (q *qtensor) len() int { return len(q.data) }
+
+// quantize converts a float tensor onto the uint8 grid of [min, max].
+func quantize(t *tensor.Tensor, min, max float32) *qtensor {
+	if min > 0 {
+		min = 0 // keep 0 exactly representable (padding, ReLU floor)
+	}
+	if max <= min {
+		max = min + 1e-3
+	}
+	scale := (max - min) / 255
+	zero := int32(math.Round(float64(-min) / float64(scale)))
+	q := &qtensor{shape: t.Shape(), data: make([]uint8, t.Len()), scale: scale, zero: zero}
+	for i, v := range t.Data() {
+		x := math.Round(float64(v)/float64(scale)) + float64(zero)
+		if x < 0 {
+			x = 0
+		} else if x > 255 {
+			x = 255
+		}
+		q.data[i] = uint8(x)
+	}
+	return q
+}
+
+// dequantize restores the float view.
+func (q *qtensor) dequantize() *tensor.Tensor {
+	out := tensor.New(q.shape...)
+	d := out.Data()
+	for i, v := range q.data {
+		d[i] = q.scale * float32(int32(v)-q.zero)
+	}
+	return out
+}
+
+// qlayer is one integer-lowered stage.
+type qlayer interface {
+	name() string
+	forward(x *qtensor) (*qtensor, error)
+}
+
+// Engine is a compiled integer inference graph.
+type Engine struct {
+	layers []qlayer
+	inMin  float32
+	inMax  float32
+	class  int
+}
+
+// Config controls Compile.
+type Config struct {
+	// Calibration provides representative inputs (N, C, H, W); the more
+	// representative, the tighter the activation grids.
+	Calibration *tensor.Tensor
+}
+
+// Compile folds, calibrates and lowers a float model. The model is not
+// modified.
+func Compile(m *models.Model, cfg Config) (*Engine, error) {
+	if cfg.Calibration == nil || cfg.Calibration.Rank() != 4 {
+		return nil, fmt.Errorf("infer: calibration batch (N,C,H,W) is required")
+	}
+	stages, err := foldSequential(m.Layers())
+	if err != nil {
+		return nil, err
+	}
+	// Calibration pass: record per-stage output ranges on the float graph.
+	x := cfg.Calibration
+	inMin, inMax := x.MinMax()
+	ranges := make([][2]float32, len(stages))
+	for i, st := range stages {
+		x, err = st.floatForward(x)
+		if err != nil {
+			return nil, fmt.Errorf("infer: calibrate %s: %w", st.label, err)
+		}
+		min, max := x.MinMax()
+		ranges[i] = [2]float32{min, max}
+	}
+	eng := &Engine{inMin: inMin, inMax: inMax, class: m.Class}
+	for i, st := range stages {
+		ql, err := st.lower(ranges[i])
+		if err != nil {
+			return nil, fmt.Errorf("infer: lower %s: %w", st.label, err)
+		}
+		eng.layers = append(eng.layers, ql)
+	}
+	return eng, nil
+}
+
+// Forward runs integer inference on a float input batch and returns float
+// logits (dequantized at the boundary, as a deployed runtime would).
+func (e *Engine) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	q := quantize(x, e.inMin, e.inMax)
+	var err error
+	for _, l := range e.layers {
+		q, err = l.forward(q)
+		if err != nil {
+			return nil, fmt.Errorf("infer: %s: %w", l.name(), err)
+		}
+	}
+	return q.dequantize(), nil
+}
+
+// Classify returns the argmax class of each sample.
+func (e *Engine) Classify(x *tensor.Tensor) ([]int, error) {
+	logits, err := e.Forward(x)
+	if err != nil {
+		return nil, err
+	}
+	n := logits.Dim(0)
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = logits.ArgMaxRow(i)
+	}
+	return out, nil
+}
+
+// SizeBytes returns the engine's parameter storage (int8 weights + int32
+// biases), the deployed footprint.
+func (e *Engine) SizeBytes() int {
+	total := 0
+	for _, l := range e.layers {
+		if s, ok := l.(interface{ sizeBytes() int }); ok {
+			total += s.sizeBytes()
+		}
+	}
+	return total
+}

@@ -1,0 +1,208 @@
+package infer
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/optim"
+	"repro/internal/tensor"
+	"repro/internal/train"
+)
+
+// trainedSmallCNN trains a small sequential backbone to usable accuracy
+// so integer-vs-float agreement is measured on meaningful predictions.
+func trainedSmallCNN(t *testing.T) (*models.Model, data.Dataset, *tensor.Tensor) {
+	t.Helper()
+	tr, te, err := data.NewSynth(data.SynthConfig{
+		Classes: 4, Train: 320, Test: 160, Size: 12, Seed: 21, Noise: 0.3,
+	})
+	if err != nil {
+		t.Fatalf("NewSynth: %v", err)
+	}
+	m, err := models.SmallCNN(models.Config{Classes: 4, InputSize: 12, Seed: 6})
+	if err != nil {
+		t.Fatalf("SmallCNN: %v", err)
+	}
+	if _, err := train.Run(train.Config{
+		Model: m, Train: tr, Test: te, BatchSize: 32, Epochs: 4,
+		Schedule: optim.ConstSchedule(0.05), Momentum: 0.9, Seed: 2,
+	}); err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	// Calibration batch from the training split.
+	calib := tensor.New(32, 3, 12, 12)
+	for i := 0; i < 32; i++ {
+		img, _ := tr.Sample(i)
+		copy(calib.Data()[i*img.Len():(i+1)*img.Len()], img.Data())
+	}
+	return m, te, calib
+}
+
+func TestCompileRequiresCalibration(t *testing.T) {
+	m, err := models.SmallCNN(models.Config{Classes: 4, InputSize: 12, Seed: 6})
+	if err != nil {
+		t.Fatalf("SmallCNN: %v", err)
+	}
+	if _, err := Compile(m, Config{}); err == nil {
+		t.Error("missing calibration did not error")
+	}
+}
+
+func TestCompileRejectsResiduals(t *testing.T) {
+	m, err := models.ResNet20(models.Config{Classes: 4, InputSize: 12, Width: 0.25, Seed: 1})
+	if err != nil {
+		t.Fatalf("ResNet20: %v", err)
+	}
+	calib := tensor.New(2, 3, 12, 12)
+	if _, err := Compile(m, Config{Calibration: calib}); err == nil {
+		t.Error("residual model did not error")
+	}
+}
+
+func TestIntegerEngineMatchesFloatModel(t *testing.T) {
+	m, te, calib := trainedSmallCNN(t)
+	eng, err := Compile(m, Config{Calibration: calib})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+
+	// Batch up the test set.
+	n := 96
+	x := tensor.New(n, 3, 12, 12)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		img, l := te.Sample(i)
+		copy(x.Data()[i*img.Len():(i+1)*img.Len()], img.Data())
+		labels[i] = l
+	}
+	floatLogits, err := m.Net.Forward(x, false)
+	if err != nil {
+		t.Fatalf("float forward: %v", err)
+	}
+	intPred, err := eng.Classify(x)
+	if err != nil {
+		t.Fatalf("Classify: %v", err)
+	}
+
+	agree := 0
+	floatCorrect, intCorrect := 0, 0
+	for i := 0; i < n; i++ {
+		fp := floatLogits.ArgMaxRow(i)
+		if fp == intPred[i] {
+			agree++
+		}
+		if fp == labels[i] {
+			floatCorrect++
+		}
+		if intPred[i] == labels[i] {
+			intCorrect++
+		}
+	}
+	if float64(agree)/float64(n) < 0.85 {
+		t.Errorf("int8 engine agrees with float on %d/%d predictions, want >= 85%%", agree, n)
+	}
+	if float64(intCorrect) < 0.8*float64(floatCorrect) {
+		t.Errorf("int8 accuracy %d/%d collapsed vs float %d/%d", intCorrect, n, floatCorrect, n)
+	}
+}
+
+func TestBNFoldingPreservesFunction(t *testing.T) {
+	// The folded float stages must compute the same function as the
+	// original model in eval mode (folding is exact up to fp rounding).
+	m, _, calib := trainedSmallCNN(t)
+	stages, err := foldSequential(m.Layers())
+	if err != nil {
+		t.Fatalf("foldSequential: %v", err)
+	}
+	want, err := m.Net.Forward(calib, false)
+	if err != nil {
+		t.Fatalf("model forward: %v", err)
+	}
+	got := calib
+	for _, st := range stages {
+		got, err = st.floatForward(got)
+		if err != nil {
+			t.Fatalf("stage %s: %v", st.label, err)
+		}
+	}
+	if !got.SameShape(want) {
+		t.Fatalf("folded output shape %v != %v", got.Shape(), want.Shape())
+	}
+	var maxDiff float64
+	for i := range got.Data() {
+		d := math.Abs(float64(got.Data()[i] - want.Data()[i]))
+		if d > maxDiff {
+			maxDiff = d
+		}
+	}
+	if maxDiff > 1e-3 {
+		t.Errorf("folded graph deviates from model by %v", maxDiff)
+	}
+}
+
+func TestEngineSizeIsInt8(t *testing.T) {
+	m, _, calib := trainedSmallCNN(t)
+	eng, err := Compile(m, Config{Calibration: calib})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	var weightElems int
+	for _, p := range m.Params() {
+		if p.Value.Rank() > 1 {
+			weightElems += p.Value.Len()
+		}
+	}
+	size := eng.SizeBytes()
+	// int8 weights plus a few float biases: well under the fp32 total and
+	// at least one byte per weight element.
+	if size < weightElems || size > 2*weightElems {
+		t.Errorf("engine size %dB for %d weights; want ~1 byte/weight (+biases)", size, weightElems)
+	}
+}
+
+func TestQuantizeDequantizeRoundTrip(t *testing.T) {
+	rng := tensor.NewRNG(9)
+	x := tensor.New(100)
+	x.FillNormal(rng, 0, 1)
+	min, max := x.MinMax()
+	q := quantize(x, min, max)
+	back := q.dequantize()
+	scale := float64(q.scale)
+	for i := range x.Data() {
+		if math.Abs(float64(x.Data()[i]-back.Data()[i])) > scale {
+			t.Fatalf("round-trip error at %d exceeds one quantum", i)
+		}
+	}
+	if q.len() != 100 {
+		t.Errorf("len = %d", q.len())
+	}
+}
+
+func TestMaxPoolCommutesWithQuantization(t *testing.T) {
+	mp, err := nn.NewMaxPool2D("mp", 2)
+	if err != nil {
+		t.Fatalf("NewMaxPool2D: %v", err)
+	}
+	rng := tensor.NewRNG(10)
+	x := tensor.New(1, 2, 4, 4)
+	x.FillNormal(rng, 0, 1)
+	min, max := x.MinMax()
+	q := quantize(x, min, max)
+	got, err := maxPoolInt(q, mp)
+	if err != nil {
+		t.Fatalf("maxPoolInt: %v", err)
+	}
+	want, err := mp.Forward(q.dequantize(), false)
+	if err != nil {
+		t.Fatalf("float pool: %v", err)
+	}
+	back := got.dequantize()
+	for i := range want.Data() {
+		if math.Abs(float64(want.Data()[i]-back.Data()[i])) > float64(q.scale) {
+			t.Fatalf("int maxpool deviates at %d", i)
+		}
+	}
+}

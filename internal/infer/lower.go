@@ -1,0 +1,279 @@
+package infer
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// lower converts a calibrated stage into its integer form. outRange is
+// the float range of this stage's output observed during calibration.
+func (st *stage) lower(outRange [2]float32) (qlayer, error) {
+	if st.pass != nil {
+		return &qpass{label: st.label, layer: st.pass}, nil
+	}
+	min, max := outRange[0], outRange[1]
+	if st.relu && min < 0 {
+		min = 0
+	}
+	w, wscale := quantizeWeightsSym(st.weight)
+	q := &qaffine{
+		label:   st.label,
+		weights: w,
+		wscale:  wscale,
+		bias:    st.bias,
+		geom:    st.geom,
+		outMin:  min,
+		outMax:  max,
+		relu:    st.relu,
+	}
+	if st.geom == nil {
+		q.outC = st.weight.Dim(0)
+		q.inF = st.weight.Dim(1)
+	} else {
+		q.outC = st.weight.Dim(0)
+	}
+	return q, nil
+}
+
+// quantizeWeightsSym maps weights onto symmetric int8: w ≈ scale · q with
+// q ∈ [−127, 127] and zero point 0 (the standard weight scheme — a zero
+// zero-point removes the cross terms from the integer GEMM).
+func quantizeWeightsSym(w *tensor.Tensor) ([]int8, float32) {
+	min, max := w.MinMax()
+	absMax := float32(math.Max(math.Abs(float64(min)), math.Abs(float64(max))))
+	if absMax == 0 {
+		absMax = 1e-6
+	}
+	scale := absMax / 127
+	out := make([]int8, w.Len())
+	for i, v := range w.Data() {
+		q := math.Round(float64(v) / float64(scale))
+		if q > 127 {
+			q = 127
+		} else if q < -127 {
+			q = -127
+		}
+		out[i] = int8(q)
+	}
+	return out, scale
+}
+
+// qaffine is an integer conv or linear stage: int8 weights, uint8
+// activations, int32 accumulation, requantization to the calibrated
+// output grid with the fused activation clamp.
+type qaffine struct {
+	label   string
+	weights []int8
+	wscale  float32
+	bias    []float32
+	geom    *tensor.ConvGeom // nil => linear
+	outC    int
+	inF     int // linear input features
+	outMin  float32
+	outMax  float32
+	relu    bool
+}
+
+func (q *qaffine) name() string { return q.label }
+
+func (q *qaffine) sizeBytes() int { return len(q.weights) + 4*len(q.bias) }
+
+func (q *qaffine) forward(x *qtensor) (*qtensor, error) {
+	if q.geom != nil {
+		return q.conv(x)
+	}
+	return q.linear(x)
+}
+
+// outGrid prepares the output quantization parameters.
+func (q *qaffine) outGrid() (scale float32, zero int32) {
+	min, max := q.outMin, q.outMax
+	if min > 0 {
+		min = 0
+	}
+	if max <= min {
+		max = min + 1e-3
+	}
+	scale = (max - min) / 255
+	zero = int32(math.Round(float64(-min) / float64(scale)))
+	return scale, zero
+}
+
+// requant maps an int32 accumulator to the output uint8 grid:
+// y_q = clamp( round(M·(acc − corrections)) + Z_y ) with
+// M = S_x·S_w/S_y; the bias is folded in float for clarity.
+func requant(acc int32, m float64, bias float32, yscale float32, yzero int32, relu bool) uint8 {
+	f := float64(acc)*m + float64(bias)
+	if relu && f < 0 {
+		f = 0
+	}
+	y := math.Round(f/float64(yscale)) + float64(yzero)
+	if y < 0 {
+		y = 0
+	} else if y > 255 {
+		y = 255
+	}
+	return uint8(y)
+}
+
+func (q *qaffine) conv(x *qtensor) (*qtensor, error) {
+	g := *q.geom
+	if len(x.shape) != 4 || x.shape[1] != g.InC || x.shape[2] != g.InH || x.shape[3] != g.InW {
+		return nil, fmt.Errorf("input %v does not match geometry %+v", x.shape, g)
+	}
+	n := x.shape[0]
+	oh, ow := g.OutHW()
+	yscale, yzero := q.outGrid()
+	out := &qtensor{shape: []int{n, q.outC, oh, ow}, data: make([]uint8, n*q.outC*oh*ow), scale: yscale, zero: yzero}
+	m := float64(x.scale) * float64(q.wscale)
+	kArea := g.KH * g.KW
+	inPlane := g.InH * g.InW
+	for b := 0; b < n; b++ {
+		src := x.data[b*g.InC*inPlane : (b+1)*g.InC*inPlane]
+		for oc := 0; oc < q.outC; oc++ {
+			ker := q.weights[oc*g.InC*kArea : (oc+1)*g.InC*kArea]
+			// Integer-only inner loops: acc accumulates q_w·(q_x − Z_x)
+			// via the expanded form Σ q_w·q_x − Z_x·Σ q_w.
+			var kerSum int32
+			for _, w := range ker {
+				kerSum += int32(w)
+			}
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					var acc int32
+					var taps int32 // zero-padding contributes Z_x-relative zeros
+					for c := 0; c < g.InC; c++ {
+						for ky := 0; ky < g.KH; ky++ {
+							iy := oy*g.Stride + ky - g.Pad
+							if iy < 0 || iy >= g.InH {
+								continue
+							}
+							rowOff := c*inPlane + iy*g.InW
+							kerOff := c*kArea + ky*g.KW
+							for kx := 0; kx < g.KW; kx++ {
+								ix := ox*g.Stride + kx - g.Pad
+								if ix < 0 || ix >= g.InW {
+									continue
+								}
+								acc += int32(ker[kerOff+kx]) * int32(src[rowOff+ix])
+								taps++
+							}
+						}
+					}
+					// Subtract the zero-point term for in-bounds taps; the
+					// zero-padded taps encode exact float zero, which the
+					// affine input grid represents as q = Z_x, so padding
+					// contributes nothing after the correction — but only
+					// the in-bounds kernel sum must be corrected.
+					var inKerSum int32
+					if taps == int32(g.InC*kArea) {
+						inKerSum = kerSum
+					} else {
+						inKerSum = q.kernelSumInBounds(oc, oy, ox, g)
+					}
+					acc -= x.zero * inKerSum
+					out.data[((b*q.outC+oc)*oh+oy)*ow+ox] =
+						requant(acc, m, q.bias[oc], yscale, yzero, q.relu)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// kernelSumInBounds recomputes Σ q_w over the in-bounds taps of a border
+// position.
+func (q *qaffine) kernelSumInBounds(oc, oy, ox int, g tensor.ConvGeom) int32 {
+	kArea := g.KH * g.KW
+	ker := q.weights[oc*g.InC*kArea : (oc+1)*g.InC*kArea]
+	var s int32
+	for c := 0; c < g.InC; c++ {
+		for ky := 0; ky < g.KH; ky++ {
+			iy := oy*g.Stride + ky - g.Pad
+			if iy < 0 || iy >= g.InH {
+				continue
+			}
+			for kx := 0; kx < g.KW; kx++ {
+				ix := ox*g.Stride + kx - g.Pad
+				if ix < 0 || ix >= g.InW {
+					continue
+				}
+				s += int32(ker[c*kArea+ky*g.KW+kx])
+			}
+		}
+	}
+	return s
+}
+
+func (q *qaffine) linear(x *qtensor) (*qtensor, error) {
+	if len(x.shape) != 2 || x.shape[1] != q.inF {
+		return nil, fmt.Errorf("input %v does not match linear (N,%d)", x.shape, q.inF)
+	}
+	n := x.shape[0]
+	yscale, yzero := q.outGrid()
+	out := &qtensor{shape: []int{n, q.outC}, data: make([]uint8, n*q.outC), scale: yscale, zero: yzero}
+	m := float64(x.scale) * float64(q.wscale)
+	for b := 0; b < n; b++ {
+		row := x.data[b*q.inF : (b+1)*q.inF]
+		for o := 0; o < q.outC; o++ {
+			w := q.weights[o*q.inF : (o+1)*q.inF]
+			var acc, wsum int32
+			for j, wv := range w {
+				acc += int32(wv) * int32(row[j])
+				wsum += int32(wv)
+			}
+			acc -= x.zero * wsum
+			out.data[b*q.outC+o] = requant(acc, m, q.bias[o], yscale, yzero, q.relu)
+		}
+	}
+	return out, nil
+}
+
+// qpass runs a pooling/reshape layer in the integer domain. MaxPool
+// commutes with the monotone affine map so it runs directly on the uint8
+// payload; GlobalAvgPool and Flatten round-trip through float (averaging
+// is exact in int only up to rounding; the float detour is the reference
+// behaviour and these layers are a negligible fraction of compute).
+type qpass struct {
+	label string
+	layer nn.Layer
+}
+
+func (p *qpass) name() string { return p.label }
+
+func (p *qpass) forward(x *qtensor) (*qtensor, error) {
+	if mp, ok := p.layer.(*nn.MaxPool2D); ok {
+		return maxPoolInt(x, mp)
+	}
+	f := x.dequantize()
+	out, err := p.layer.Forward(f, false)
+	if err != nil {
+		return nil, err
+	}
+	min, max := out.MinMax()
+	return quantize(out, min, max), nil
+}
+
+func maxPoolInt(x *qtensor, mp *nn.MaxPool2D) (*qtensor, error) {
+	// Re-run the float layer's geometry logic directly on uint8 — max is
+	// order-preserving under the affine map.
+	f := x.dequantize()
+	out, err := mp.Forward(f, false)
+	if err != nil {
+		return nil, err
+	}
+	q := &qtensor{shape: out.Shape(), data: make([]uint8, out.Len()), scale: x.scale, zero: x.zero}
+	for i, v := range out.Data() {
+		y := math.Round(float64(v)/float64(x.scale)) + float64(x.zero)
+		if y < 0 {
+			y = 0
+		} else if y > 255 {
+			y = 255
+		}
+		q.data[i] = uint8(y)
+	}
+	return q, nil
+}

@@ -1,0 +1,117 @@
+package infer
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func TestQuantizeWeightsSymProperties(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	w := tensor.New(256)
+	w.FillNormal(rng, 0, 0.5)
+	q, scale := quantizeWeightsSym(w)
+	if scale <= 0 {
+		t.Fatalf("scale = %v", scale)
+	}
+	for i, v := range q {
+		if v < -127 || v > 127 {
+			t.Fatalf("q[%d] = %d outside int8 symmetric range", i, v)
+		}
+		recon := float64(scale) * float64(v)
+		if math.Abs(recon-float64(w.Data()[i])) > float64(scale)/2+1e-6 {
+			t.Fatalf("weight %d reconstruction error exceeds scale/2", i)
+		}
+	}
+}
+
+func TestQuantizeWeightsSymDegenerate(t *testing.T) {
+	w := tensor.New(8) // all zero
+	q, scale := quantizeWeightsSym(w)
+	if scale <= 0 {
+		t.Fatalf("degenerate scale = %v", scale)
+	}
+	for _, v := range q {
+		if v != 0 {
+			t.Fatal("zero weights did not quantize to zero")
+		}
+	}
+}
+
+func TestRequantClampsAndRounds(t *testing.T) {
+	// acc*m + bias maps into the output grid with zero point.
+	got := requant(100, 0.01, 0.5, 0.1, 10, false)
+	// f = 1.0 + 0.5 = 1.5; y = round(1.5/0.1) + 10 = 25
+	if got != 25 {
+		t.Errorf("requant = %d, want 25", got)
+	}
+	// ReLU clamp applies before the grid mapping.
+	if got := requant(-1000, 0.01, 0, 0.1, 10, true); got != 10 {
+		t.Errorf("relu requant = %d, want zero point 10", got)
+	}
+	// Saturation at the uint8 bounds.
+	if got := requant(1<<30, 1, 0, 0.1, 0, false); got != 255 {
+		t.Errorf("overflow requant = %d, want 255", got)
+	}
+	if got := requant(-(1 << 30), 1, 0, 0.1, 0, false); got != 0 {
+		t.Errorf("underflow requant = %d, want 0", got)
+	}
+}
+
+// Property: the integer linear stage matches a float matmul within the
+// combined quantization error budget for random small problems.
+func TestIntegerLinearMatchesFloatProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		n := 1 + rng.Intn(3)
+		inF := 2 + rng.Intn(8)
+		outF := 1 + rng.Intn(4)
+		w := tensor.New(outF, inF)
+		w.FillNormal(rng, 0, 0.5)
+		x := tensor.New(n, inF)
+		x.FillNormal(rng, 0, 1)
+		bias := make([]float32, outF)
+		for i := range bias {
+			bias[i] = float32(rng.Norm()) * 0.1
+		}
+		// Float reference.
+		want, err := tensor.MatMulTransB(x, w)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for o := 0; o < outF; o++ {
+				want.Set(want.At(i, o)+bias[o], i, o)
+			}
+		}
+		wmin, wmax := want.MinMax()
+
+		qw, wscale := quantizeWeightsSym(w)
+		q := &qaffine{
+			label: "lin", weights: qw, wscale: wscale, bias: bias,
+			outC: outF, inF: inF, outMin: wmin, outMax: wmax,
+		}
+		xmin, xmax := x.MinMax()
+		qx := quantize(x, xmin, xmax)
+		out, err := q.forward(qx)
+		if err != nil {
+			return false
+		}
+		back := out.dequantize()
+		// Error budget: input quantum propagated through the weights plus
+		// one output quantum.
+		inBudget := float64(qx.scale) * float64(inF) * 0.6
+		outBudget := float64(out.scale)
+		for i := range back.Data() {
+			if math.Abs(float64(back.Data()[i]-want.Data()[i])) > inBudget+2*outBudget+1e-3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

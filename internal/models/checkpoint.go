@@ -1,0 +1,160 @@
+package models
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/nn"
+	"repro/internal/quant"
+)
+
+// Checkpointing. A trained APT model is saved with its weights in their
+// *quantized, bit-packed* form — the on-device storage story of the
+// paper: a model trained to mixed 6–13-bit precision occupies a fraction
+// of its fp32 size on flash, not just in RAM during training. fp32
+// parameters (and optional master copies) are stored raw; batch-norm
+// running statistics are captured alongside so a loaded model evaluates
+// identically.
+//
+// The format is a gob stream of one checkpointFile. Loading restores into
+// an existing model of the same architecture, matching parameters by
+// name.
+
+type paramRecord struct {
+	Name   string
+	Shape  []int
+	Bits   int
+	Packed *quant.Packed // quantized payload; nil for fp32
+	Raw    []float32     // fp32 payload; nil when packed
+	Master []float32     // optional fp32 master copy
+}
+
+type bnRecord struct {
+	Name string
+	Mean []float64
+	Var  []float64
+}
+
+type checkpointFile struct {
+	Model  string
+	Params []paramRecord
+	BN     []bnRecord
+}
+
+// Save writes the model's state to w.
+func Save(w io.Writer, m *Model) error {
+	file := checkpointFile{Model: m.Name}
+	for _, p := range m.Params() {
+		rec := paramRecord{Name: p.Name, Shape: p.Value.Shape(), Bits: p.Bits()}
+		if p.Q != nil && !p.Q.FullPrecision() {
+			packed, err := quant.Pack(p.Value, p.Q)
+			if err != nil {
+				return fmt.Errorf("models: save %s: %w", p.Name, err)
+			}
+			rec.Packed = packed
+		} else {
+			rec.Raw = append([]float32(nil), p.Value.Data()...)
+		}
+		if p.Master != nil {
+			rec.Master = append([]float32(nil), p.Master.Data()...)
+		}
+		file.Params = append(file.Params, rec)
+	}
+	for _, bn := range collectBatchNorms(m.Layers()) {
+		mean, variance := bn.RunningStats()
+		file.BN = append(file.BN, bnRecord{Name: bn.Name(), Mean: mean, Var: variance})
+	}
+	if err := gob.NewEncoder(w).Encode(&file); err != nil {
+		return fmt.Errorf("models: encode checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Load restores a checkpoint written by Save into m, which must have the
+// same architecture (parameter names and shapes).
+func Load(r io.Reader, m *Model) error {
+	var file checkpointFile
+	if err := gob.NewDecoder(r).Decode(&file); err != nil {
+		return fmt.Errorf("models: decode checkpoint: %w", err)
+	}
+	if file.Model != m.Name {
+		return fmt.Errorf("models: checkpoint is for %q, model is %q", file.Model, m.Name)
+	}
+	byName := make(map[string]*nn.Param, len(m.Params()))
+	for _, p := range m.Params() {
+		byName[p.Name] = p
+	}
+	for _, rec := range file.Params {
+		p, ok := byName[rec.Name]
+		if !ok {
+			return fmt.Errorf("models: checkpoint parameter %q not in model", rec.Name)
+		}
+		switch {
+		case rec.Packed != nil:
+			v, err := rec.Packed.Unpack(rec.Shape...)
+			if err != nil {
+				return fmt.Errorf("models: load %s: %w", rec.Name, err)
+			}
+			if err := p.Value.CopyFrom(v); err != nil {
+				return fmt.Errorf("models: load %s: %w", rec.Name, err)
+			}
+			st, err := quant.NewState(rec.Bits)
+			if err != nil {
+				return fmt.Errorf("models: load %s: %w", rec.Name, err)
+			}
+			st.Refresh(p.Value)
+			p.Q = st
+		case rec.Raw != nil:
+			if len(rec.Raw) != p.Value.Len() {
+				return fmt.Errorf("models: load %s: %d values for %d elements", rec.Name, len(rec.Raw), p.Value.Len())
+			}
+			copy(p.Value.Data(), rec.Raw)
+			p.Q = nil
+		default:
+			return fmt.Errorf("models: load %s: empty record", rec.Name)
+		}
+		if rec.Master != nil {
+			p.EnableMaster()
+			copy(p.Master.Data(), rec.Master)
+		} else {
+			p.Master = nil
+		}
+		delete(byName, rec.Name)
+	}
+	if len(byName) > 0 {
+		for name := range byName {
+			return fmt.Errorf("models: checkpoint missing parameter %q", name)
+		}
+	}
+	bnByName := make(map[string]*nn.BatchNorm2D)
+	for _, bn := range collectBatchNorms(m.Layers()) {
+		bnByName[bn.Name()] = bn
+	}
+	for _, rec := range file.BN {
+		bn, ok := bnByName[rec.Name]
+		if !ok {
+			return fmt.Errorf("models: checkpoint batch-norm %q not in model", rec.Name)
+		}
+		if err := bn.SetRunningStats(rec.Mean, rec.Var); err != nil {
+			return fmt.Errorf("models: load %s: %w", rec.Name, err)
+		}
+	}
+	return nil
+}
+
+// collectBatchNorms walks the layer tree for batch-norm layers.
+func collectBatchNorms(layers []nn.Layer) []*nn.BatchNorm2D {
+	var out []*nn.BatchNorm2D
+	for _, l := range layers {
+		switch v := l.(type) {
+		case *nn.BatchNorm2D:
+			out = append(out, v)
+		case *nn.Sequential:
+			out = append(out, collectBatchNorms(v.Layers())...)
+		case *nn.Residual:
+			out = append(out, collectBatchNorms(v.Inner())...)
+		}
+	}
+	return out
+}

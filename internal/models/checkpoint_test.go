@@ -1,0 +1,180 @@
+package models
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// trainedModel returns a model whose weights, quantization states and BN
+// running stats have been perturbed away from initialization, with a mix
+// of quantized, fp32 and master-copy parameters.
+func trainedModel(t *testing.T) *Model {
+	t.Helper()
+	m, err := SmallCNN(Config{Classes: 4, InputSize: 12, Seed: 3})
+	if err != nil {
+		t.Fatalf("SmallCNN: %v", err)
+	}
+	rng := tensor.NewRNG(10)
+	for i, p := range m.Params() {
+		p.Value.FillNormal(rng, 0, 1)
+		switch i % 3 {
+		case 0:
+			if err := p.SetBits(6); err != nil {
+				t.Fatalf("SetBits: %v", err)
+			}
+		case 1:
+			p.EnableMaster()
+			if err := p.SetBits(4); err != nil {
+				t.Fatalf("SetBits: %v", err)
+			}
+		}
+	}
+	// Push data through in training mode so BN stats move.
+	x := tensor.New(4, 3, 12, 12)
+	x.FillNormal(rng, 1, 2)
+	if _, err := m.Net.Forward(x, true); err != nil {
+		t.Fatalf("forward: %v", err)
+	}
+	return m
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	m := trainedModel(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, m); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+
+	fresh, err := SmallCNN(Config{Classes: 4, InputSize: 12, Seed: 99})
+	if err != nil {
+		t.Fatalf("SmallCNN: %v", err)
+	}
+	if err := Load(bytes.NewReader(buf.Bytes()), fresh); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+
+	// Parameter values, bits and master copies restored.
+	orig, got := m.Params(), fresh.Params()
+	for i := range orig {
+		if orig[i].Bits() != got[i].Bits() {
+			t.Errorf("%s bits %d != %d", orig[i].Name, got[i].Bits(), orig[i].Bits())
+		}
+		for j := range orig[i].Value.Data() {
+			a, b := orig[i].Value.Data()[j], got[i].Value.Data()[j]
+			if diff := a - b; diff > 1e-5 || diff < -1e-5 {
+				t.Fatalf("%s value[%d] %v != %v", orig[i].Name, j, b, a)
+			}
+		}
+		if (orig[i].Master == nil) != (got[i].Master == nil) {
+			t.Errorf("%s master presence mismatch", orig[i].Name)
+		}
+	}
+
+	// Identical evaluation behaviour.
+	rng := tensor.NewRNG(20)
+	x := tensor.New(2, 3, 12, 12)
+	x.FillNormal(rng, 0, 1)
+	outA, err := m.Net.Forward(x, false)
+	if err != nil {
+		t.Fatalf("forward A: %v", err)
+	}
+	outB, err := fresh.Net.Forward(x, false)
+	if err != nil {
+		t.Fatalf("forward B: %v", err)
+	}
+	for i := range outA.Data() {
+		diff := outA.Data()[i] - outB.Data()[i]
+		if diff > 1e-4 || diff < -1e-4 {
+			t.Fatalf("loaded model diverges at logit %d: %v vs %v", i, outA.Data()[i], outB.Data()[i])
+		}
+	}
+}
+
+func TestCheckpointSizeReflectsQuantization(t *testing.T) {
+	// A fully 6-bit-quantized model must checkpoint much smaller than the
+	// same model in fp32.
+	quantized, err := SmallCNN(Config{Classes: 4, InputSize: 12, Seed: 3})
+	if err != nil {
+		t.Fatalf("SmallCNN: %v", err)
+	}
+	rng := tensor.NewRNG(11)
+	for _, p := range quantized.Params() {
+		p.Value.FillNormal(rng, 0, 1)
+		if err := p.SetBits(6); err != nil {
+			t.Fatalf("SetBits: %v", err)
+		}
+	}
+	var qbuf bytes.Buffer
+	if err := Save(&qbuf, quantized); err != nil {
+		t.Fatalf("Save quantized: %v", err)
+	}
+
+	full, err := SmallCNN(Config{Classes: 4, InputSize: 12, Seed: 3})
+	if err != nil {
+		t.Fatalf("SmallCNN: %v", err)
+	}
+	for _, p := range full.Params() {
+		p.Value.FillNormal(rng, 0, 1)
+	}
+	var fbuf bytes.Buffer
+	if err := Save(&fbuf, full); err != nil {
+		t.Fatalf("Save fp32: %v", err)
+	}
+	if qbuf.Len() >= fbuf.Len()/2 {
+		t.Errorf("6-bit checkpoint %dB not meaningfully smaller than fp32 %dB", qbuf.Len(), fbuf.Len())
+	}
+}
+
+func TestLoadRejectsMismatches(t *testing.T) {
+	m := trainedModel(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, m); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+
+	other, err := ResNet20(Config{Classes: 4, InputSize: 12, Width: 0.25, Seed: 1})
+	if err != nil {
+		t.Fatalf("ResNet20: %v", err)
+	}
+	if err := Load(bytes.NewReader(buf.Bytes()), other); err == nil {
+		t.Error("loading into a different architecture did not error")
+	}
+	if err := Load(strings.NewReader("garbage"), m); err == nil {
+		t.Error("garbage stream did not error")
+	}
+}
+
+func TestBNStatsRestored(t *testing.T) {
+	m := trainedModel(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, m); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	fresh, err := SmallCNN(Config{Classes: 4, InputSize: 12, Seed: 99})
+	if err != nil {
+		t.Fatalf("SmallCNN: %v", err)
+	}
+	if err := Load(bytes.NewReader(buf.Bytes()), fresh); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	origBNs := collectBatchNorms(m.Layers())
+	gotBNs := collectBatchNorms(fresh.Layers())
+	if len(origBNs) == 0 || len(origBNs) != len(gotBNs) {
+		t.Fatalf("BN counts: %d vs %d", len(origBNs), len(gotBNs))
+	}
+	for i := range origBNs {
+		om, ov := origBNs[i].RunningStats()
+		gm, gv := gotBNs[i].RunningStats()
+		for c := range om {
+			if om[c] != gm[c] || ov[c] != gv[c] {
+				t.Fatalf("BN %s stats differ after load", origBNs[i].Name())
+			}
+		}
+	}
+}
+
+var _ = nn.Param{}

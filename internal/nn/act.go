@@ -1,0 +1,64 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// ReLU applies max(0, x) element-wise. With a positive Cap it becomes the
+// clipped variant (ReLU6 for Cap = 6) used by MobileNetV2.
+type ReLU struct {
+	name string
+	cap  float32 // 0 = unbounded
+	mask []bool
+}
+
+// NewReLU returns an unbounded rectifier.
+func NewReLU(name string) *ReLU { return &ReLU{name: name} }
+
+// NewReLU6 returns the clipped rectifier min(max(0,x),6).
+func NewReLU6(name string) *ReLU { return &ReLU{name: name, cap: 6} }
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return r.name }
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
+	out := x.Clone()
+	d := out.Data()
+	r.mask = make([]bool, len(d))
+	for i, v := range d {
+		switch {
+		case v <= 0:
+			d[i] = 0
+		case r.cap > 0 && v >= r.cap:
+			d[i] = r.cap
+		default:
+			r.mask[i] = true // pass-through region
+		}
+	}
+	return out, nil
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(dout *tensor.Tensor) (*tensor.Tensor, error) {
+	if r.mask == nil {
+		return nil, fmt.Errorf("relu %q: backward before forward", r.name)
+	}
+	if dout.Len() != len(r.mask) {
+		return nil, fmt.Errorf("relu %q: %w: dout %v vs cached %d elems", r.name, tensor.ErrShape, dout.Shape(), len(r.mask))
+	}
+	dx := dout.Clone()
+	d := dx.Data()
+	for i := range d {
+		if !r.mask[i] {
+			d[i] = 0
+		}
+	}
+	r.mask = nil
+	return dx, nil
+}

@@ -1,0 +1,182 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Sequential chains layers, threading forward activations and backward
+// gradients through them in order.
+type Sequential struct {
+	name   string
+	layers []Layer
+}
+
+// NewSequential builds a sequential container.
+func NewSequential(name string, layers ...Layer) *Sequential {
+	return &Sequential{name: name, layers: layers}
+}
+
+// Name implements Layer.
+func (s *Sequential) Name() string { return s.name }
+
+// Layers returns the contained layers in order.
+func (s *Sequential) Layers() []Layer { return s.layers }
+
+// Params implements Layer.
+func (s *Sequential) Params() []*Param { return CollectParams(s.layers) }
+
+// MACs implements Coster.
+func (s *Sequential) MACs() int64 { return TotalMACs(s.layers) }
+
+// Forward implements Layer.
+func (s *Sequential) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
+	var err error
+	for _, l := range s.layers {
+		x, err = l.Forward(x, train)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", s.name, err)
+		}
+	}
+	return x, nil
+}
+
+// Backward implements Layer.
+func (s *Sequential) Backward(dout *tensor.Tensor) (*tensor.Tensor, error) {
+	var err error
+	for i := len(s.layers) - 1; i >= 0; i-- {
+		dout, err = s.layers[i].Backward(dout)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", s.name, err)
+		}
+	}
+	return dout, nil
+}
+
+// Residual computes relu(main(x) + shortcut(x)); a nil shortcut is the
+// identity. It is the basic block of the CIFAR ResNets. When withReLU is
+// false the block omits the output activation (used by MobileNetV2's
+// linear bottlenecks, where the skip connection adds projection outputs
+// directly).
+type Residual struct {
+	name     string
+	main     Layer
+	shortcut Layer // nil = identity
+	withReLU bool
+	mask     []bool
+}
+
+// NewResidual builds a residual block with an output ReLU.
+func NewResidual(name string, main, shortcut Layer) *Residual {
+	return &Residual{name: name, main: main, shortcut: shortcut, withReLU: true}
+}
+
+// NewLinearResidual builds a residual block without an output activation.
+func NewLinearResidual(name string, main, shortcut Layer) *Residual {
+	return &Residual{name: name, main: main, shortcut: shortcut}
+}
+
+// Name implements Layer.
+func (r *Residual) Name() string { return r.name }
+
+// Params implements Layer.
+func (r *Residual) Params() []*Param {
+	ps := r.main.Params()
+	if r.shortcut != nil {
+		ps = append(ps, r.shortcut.Params()...)
+	}
+	return ps
+}
+
+// Inner returns the block's constituent layers (main branch, then the
+// shortcut when present) so cost accounting can recurse to per-layer
+// bitwidths.
+func (r *Residual) Inner() []Layer {
+	if r.shortcut == nil {
+		return []Layer{r.main}
+	}
+	return []Layer{r.main, r.shortcut}
+}
+
+// MACs implements Coster.
+func (r *Residual) MACs() int64 {
+	var total int64
+	if c, ok := r.main.(Coster); ok {
+		total += c.MACs()
+	}
+	if r.shortcut != nil {
+		if c, ok := r.shortcut.(Coster); ok {
+			total += c.MACs()
+		}
+	}
+	return total
+}
+
+// Forward implements Layer.
+func (r *Residual) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
+	my, err := r.main.Forward(x, train)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", r.name, err)
+	}
+	sy := x
+	if r.shortcut != nil {
+		sy, err = r.shortcut.Forward(x, train)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", r.name, err)
+		}
+	}
+	out := my.Clone()
+	if err := out.Add(sy); err != nil {
+		return nil, fmt.Errorf("%s: %w", r.name, err)
+	}
+	if r.withReLU {
+		d := out.Data()
+		r.mask = make([]bool, len(d))
+		for i, v := range d {
+			if v > 0 {
+				r.mask[i] = true
+			} else {
+				d[i] = 0
+			}
+		}
+	}
+	return out, nil
+}
+
+// Backward implements Layer.
+func (r *Residual) Backward(dout *tensor.Tensor) (*tensor.Tensor, error) {
+	d := dout
+	if r.withReLU {
+		if r.mask == nil {
+			return nil, fmt.Errorf("%s: backward before forward", r.name)
+		}
+		if dout.Len() != len(r.mask) {
+			return nil, fmt.Errorf("%s: %w: dout %v", r.name, tensor.ErrShape, dout.Shape())
+		}
+		d = dout.Clone()
+		dd := d.Data()
+		for i := range dd {
+			if !r.mask[i] {
+				dd[i] = 0
+			}
+		}
+		r.mask = nil
+	}
+	dmain, err := r.main.Backward(d)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", r.name, err)
+	}
+	dshort := d
+	if r.shortcut != nil {
+		dshort, err = r.shortcut.Backward(d)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", r.name, err)
+		}
+	}
+	dx := dmain.Clone()
+	if err := dx.Add(dshort); err != nil {
+		return nil, fmt.Errorf("%s: %w", r.name, err)
+	}
+	return dx, nil
+}

@@ -1,0 +1,204 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Conv2D is a standard 2-D convolution over NCHW batches, computed as
+// im2col + GEMM per sample with the batch parallelized across workers. The
+// input spatial size is fixed at construction (CIFAR-style pipelines have
+// static geometry), which lets the layer report exact MAC counts to the
+// energy model.
+type Conv2D struct {
+	name    string
+	geom    tensor.ConvGeom
+	outC    int
+	weight  *Param // (outC, inC, KH, KW) viewed as (outC, inC*KH*KW)
+	bias    *Param // (outC), nil when disabled
+	cols    []*tensor.Tensor
+	inShape []int
+}
+
+// Conv2DConfig configures NewConv2D.
+type Conv2DConfig struct {
+	Name string
+	In   tensor.ConvGeom // InC/InH/InW/KH/KW/Stride/Pad
+	OutC int
+	Bias bool
+	RNG  *tensor.RNG
+}
+
+// NewConv2D constructs a convolution with He-normal initialized weights.
+func NewConv2D(cfg Conv2DConfig) (*Conv2D, error) {
+	if err := cfg.In.Validate(); err != nil {
+		return nil, fmt.Errorf("conv2d %q: %w", cfg.Name, err)
+	}
+	if cfg.OutC <= 0 {
+		return nil, fmt.Errorf("conv2d %q: %w: outC %d", cfg.Name, tensor.ErrShape, cfg.OutC)
+	}
+	g := cfg.In
+	w := tensor.New(cfg.OutC, g.InC, g.KH, g.KW)
+	w.FillHeNormal(cfg.RNG, g.InC*g.KH*g.KW)
+	c := &Conv2D{
+		name:   cfg.Name,
+		geom:   g,
+		outC:   cfg.OutC,
+		weight: NewParam(cfg.Name+".weight", w),
+	}
+	if cfg.Bias {
+		c.bias = NewParam(cfg.Name+".bias", tensor.New(cfg.OutC))
+	}
+	return c, nil
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string { return c.name }
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param {
+	if c.bias == nil {
+		return []*Param{c.weight}
+	}
+	return []*Param{c.weight, c.bias}
+}
+
+// MACs implements Coster: outC · OH · OW · inC · KH · KW per sample.
+func (c *Conv2D) MACs() int64 {
+	oh, ow := c.geom.OutHW()
+	return int64(c.outC) * int64(oh) * int64(ow) *
+		int64(c.geom.InC) * int64(c.geom.KH) * int64(c.geom.KW)
+}
+
+// Geom exposes the convolution geometry (used by model builders).
+func (c *Conv2D) Geom() tensor.ConvGeom { return c.geom }
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
+	if x.Rank() != 4 || x.Dim(1) != c.geom.InC || x.Dim(2) != c.geom.InH || x.Dim(3) != c.geom.InW {
+		return nil, fmt.Errorf("conv2d %q: %w: input %v, want (N,%d,%d,%d)",
+			c.name, tensor.ErrShape, x.Shape(), c.geom.InC, c.geom.InH, c.geom.InW)
+	}
+	n := x.Dim(0)
+	oh, ow := c.geom.OutHW()
+	out := tensor.New(n, c.outC, oh, ow)
+	kdim := c.geom.InC * c.geom.KH * c.geom.KW
+	w2d := c.weight.Value.MustReshape(c.outC, kdim)
+	c.cols = make([]*tensor.Tensor, n)
+	c.inShape = x.Shape()
+
+	inSz := c.geom.InC * c.geom.InH * c.geom.InW
+	outSz := c.outC * oh * ow
+	var ferr error
+	tensor.ParallelFor(n, func(i int) {
+		img, err := tensor.FromSlice(x.Data()[i*inSz:(i+1)*inSz], c.geom.InC, c.geom.InH, c.geom.InW)
+		if err != nil {
+			ferr = err
+			return
+		}
+		cols, err := tensor.Im2Col(img, c.geom)
+		if err != nil {
+			ferr = err
+			return
+		}
+		c.cols[i] = cols
+		prod, err := tensor.MatMul(w2d, cols) // (outC, oh*ow)
+		if err != nil {
+			ferr = err
+			return
+		}
+		copy(out.Data()[i*outSz:(i+1)*outSz], prod.Data())
+	})
+	if ferr != nil {
+		return nil, fmt.Errorf("conv2d %q: %w", c.name, ferr)
+	}
+	if c.bias != nil {
+		bd := c.bias.Value.Data()
+		od := out.Data()
+		plane := oh * ow
+		for i := 0; i < n; i++ {
+			for oc := 0; oc < c.outC; oc++ {
+				b := bd[oc]
+				row := od[(i*c.outC+oc)*plane : (i*c.outC+oc+1)*plane]
+				for j := range row {
+					row[j] += b
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(dout *tensor.Tensor) (*tensor.Tensor, error) {
+	if c.cols == nil {
+		return nil, fmt.Errorf("conv2d %q: backward before forward", c.name)
+	}
+	n := dout.Dim(0)
+	oh, ow := c.geom.OutHW()
+	if dout.Rank() != 4 || dout.Dim(1) != c.outC || dout.Dim(2) != oh || dout.Dim(3) != ow || n != len(c.cols) {
+		return nil, fmt.Errorf("conv2d %q: %w: dout %v, want (%d,%d,%d,%d)",
+			c.name, tensor.ErrShape, dout.Shape(), len(c.cols), c.outC, oh, ow)
+	}
+	kdim := c.geom.InC * c.geom.KH * c.geom.KW
+	w2d := c.weight.Value.MustReshape(c.outC, kdim)
+	dx := tensor.New(c.inShape...)
+	inSz := c.geom.InC * c.geom.InH * c.geom.InW
+	outSz := c.outC * oh * ow
+
+	dws := make([]*tensor.Tensor, n)
+	var ferr error
+	tensor.ParallelFor(n, func(i int) {
+		d2d, err := tensor.FromSlice(dout.Data()[i*outSz:(i+1)*outSz], c.outC, oh*ow)
+		if err != nil {
+			ferr = err
+			return
+		}
+		// dW contribution: dout2d · colsᵀ → (outC, kdim)
+		dw, err := tensor.MatMulTransB(d2d, c.cols[i])
+		if err != nil {
+			ferr = err
+			return
+		}
+		dws[i] = dw
+		// dcols: Wᵀ · dout2d → (kdim, oh*ow)
+		dcols, err := tensor.MatMulTransA(w2d, d2d)
+		if err != nil {
+			ferr = err
+			return
+		}
+		dimg, err := tensor.Col2Im(dcols, c.geom)
+		if err != nil {
+			ferr = err
+			return
+		}
+		copy(dx.Data()[i*inSz:(i+1)*inSz], dimg.Data())
+	})
+	if ferr != nil {
+		return nil, fmt.Errorf("conv2d %q: %w", c.name, ferr)
+	}
+	gw := c.weight.Grad.Data()
+	for _, dw := range dws {
+		for j, v := range dw.Data() {
+			gw[j] += v
+		}
+	}
+	if c.bias != nil {
+		gb := c.bias.Grad.Data()
+		plane := oh * ow
+		dd := dout.Data()
+		for i := 0; i < n; i++ {
+			for oc := 0; oc < c.outC; oc++ {
+				row := dd[(i*c.outC+oc)*plane : (i*c.outC+oc+1)*plane]
+				var s float32
+				for _, v := range row {
+					s += v
+				}
+				gb[oc] += s
+			}
+		}
+	}
+	c.cols = nil // release cache
+	return dx, nil
+}

@@ -1,0 +1,293 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// numericalGrad estimates dLoss/dx[i] by central differences, where loss
+// is the sum of element-wise products of the layer output with a fixed
+// random cotangent (so dL/dout = cot).
+func numericalGrad(t *testing.T, l Layer, x *tensor.Tensor, cot *tensor.Tensor, i int) float64 {
+	t.Helper()
+	const h = 1e-3
+	orig := x.Data()[i]
+
+	eval := func(v float32) float64 {
+		x.Data()[i] = v
+		out, err := l.Forward(x, true)
+		if err != nil {
+			t.Fatalf("forward: %v", err)
+		}
+		var s float64
+		for j, o := range out.Data() {
+			s += float64(o) * float64(cot.Data()[j])
+		}
+		return s
+	}
+	plus := eval(orig + h)
+	minus := eval(orig - h)
+	x.Data()[i] = orig
+	return (plus - minus) / (2 * h)
+}
+
+// checkInputGrad verifies Backward's input gradient against central
+// differences at a handful of probe positions.
+func checkInputGrad(t *testing.T, l Layer, x *tensor.Tensor, tol float64) {
+	t.Helper()
+	out, err := l.Forward(x, true)
+	if err != nil {
+		t.Fatalf("forward: %v", err)
+	}
+	rng := tensor.NewRNG(99)
+	cot := tensor.New(out.Shape()...)
+	cot.FillNormal(rng, 0, 1)
+	dx, err := l.Backward(cot)
+	if err != nil {
+		t.Fatalf("backward: %v", err)
+	}
+	if !dx.SameShape(x) {
+		t.Fatalf("dx shape %v != x shape %v", dx.Shape(), x.Shape())
+	}
+	probes := probeIndices(x.Len())
+	for _, i := range probes {
+		num := numericalGrad(t, l, x, cot, i)
+		got := float64(dx.Data()[i])
+		if math.Abs(num-got) > tol*(1+math.Abs(num)) {
+			t.Errorf("input grad[%d]: analytic %.5f vs numeric %.5f", i, got, num)
+		}
+	}
+}
+
+// checkParamGrad verifies a parameter gradient against central differences.
+func checkParamGrad(t *testing.T, l Layer, x *tensor.Tensor, p *Param, tol float64) {
+	t.Helper()
+	p.ZeroGrad()
+	out, err := l.Forward(x, true)
+	if err != nil {
+		t.Fatalf("forward: %v", err)
+	}
+	rng := tensor.NewRNG(77)
+	cot := tensor.New(out.Shape()...)
+	cot.FillNormal(rng, 0, 1)
+	if _, err := l.Backward(cot); err != nil {
+		t.Fatalf("backward: %v", err)
+	}
+	analytic := p.Grad.Clone()
+
+	const h = 1e-3
+	probes := probeIndices(p.Value.Len())
+	for _, i := range probes {
+		orig := p.Value.Data()[i]
+		eval := func(v float32) float64 {
+			p.Value.Data()[i] = v
+			out, err := l.Forward(x, true)
+			if err != nil {
+				t.Fatalf("forward: %v", err)
+			}
+			// consume the cached state so the next Forward is clean
+			if _, err := l.Backward(cot); err != nil {
+				t.Fatalf("backward: %v", err)
+			}
+			var s float64
+			for j, o := range out.Data() {
+				s += float64(o) * float64(cot.Data()[j])
+			}
+			return s
+		}
+		plus := eval(orig + h)
+		p.ZeroGrad()
+		minus := eval(orig - h)
+		p.ZeroGrad()
+		p.Value.Data()[i] = orig
+		num := (plus - minus) / (2 * h)
+		got := float64(analytic.Data()[i])
+		if math.Abs(num-got) > tol*(1+math.Abs(num)) {
+			t.Errorf("param %s grad[%d]: analytic %.5f vs numeric %.5f", p.Name, i, got, num)
+		}
+	}
+}
+
+func probeIndices(n int) []int {
+	if n <= 6 {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx
+	}
+	return []int{0, n / 5, 2 * n / 5, 3 * n / 5, 4 * n / 5, n - 1}
+}
+
+func TestConv2DGradCheck(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	g := tensor.ConvGeom{InC: 2, InH: 6, InW: 6, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	conv, err := NewConv2D(Conv2DConfig{Name: "c", In: g, OutC: 3, Bias: true, RNG: rng})
+	if err != nil {
+		t.Fatalf("NewConv2D: %v", err)
+	}
+	x := tensor.New(2, 2, 6, 6)
+	x.FillNormal(rng, 0, 1)
+	checkInputGrad(t, conv, x, 2e-2)
+	checkParamGrad(t, conv, x, conv.weight, 2e-2)
+	checkParamGrad(t, conv, x, conv.bias, 2e-2)
+}
+
+func TestConv2DStridedGradCheck(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	g := tensor.ConvGeom{InC: 3, InH: 8, InW: 8, KH: 3, KW: 3, Stride: 2, Pad: 1}
+	conv, err := NewConv2D(Conv2DConfig{Name: "cs", In: g, OutC: 4, RNG: rng})
+	if err != nil {
+		t.Fatalf("NewConv2D: %v", err)
+	}
+	x := tensor.New(1, 3, 8, 8)
+	x.FillNormal(rng, 0, 1)
+	checkInputGrad(t, conv, x, 2e-2)
+	checkParamGrad(t, conv, x, conv.weight, 2e-2)
+}
+
+func TestLinearGradCheck(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	lin, err := NewLinear("l", 7, 4, true, rng)
+	if err != nil {
+		t.Fatalf("NewLinear: %v", err)
+	}
+	x := tensor.New(3, 7)
+	x.FillNormal(rng, 0, 1)
+	checkInputGrad(t, lin, x, 1e-2)
+	checkParamGrad(t, lin, x, lin.weight, 1e-2)
+	checkParamGrad(t, lin, x, lin.bias, 1e-2)
+}
+
+func TestDepthwiseGradCheck(t *testing.T) {
+	rng := tensor.NewRNG(4)
+	g := tensor.ConvGeom{InC: 3, InH: 6, InW: 6, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	dw, err := NewDepthwiseConv2D("dw", g, rng)
+	if err != nil {
+		t.Fatalf("NewDepthwiseConv2D: %v", err)
+	}
+	x := tensor.New(2, 3, 6, 6)
+	x.FillNormal(rng, 0, 1)
+	checkInputGrad(t, dw, x, 2e-2)
+	checkParamGrad(t, dw, x, dw.weight, 2e-2)
+}
+
+func TestReLUGradCheck(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	r := NewReLU("r")
+	x := tensor.New(4, 5)
+	x.FillNormal(rng, 0, 1)
+	// Nudge values away from the kink where central differences lie.
+	for i, v := range x.Data() {
+		if v > -0.05 && v < 0.05 {
+			x.Data()[i] = 0.1
+		}
+	}
+	checkInputGrad(t, r, x, 1e-2)
+}
+
+func TestReLU6GradCheck(t *testing.T) {
+	rng := tensor.NewRNG(6)
+	r := NewReLU6("r6")
+	x := tensor.New(4, 5)
+	x.FillNormal(rng, 3, 3)
+	for i, v := range x.Data() {
+		if (v > -0.05 && v < 0.05) || (v > 5.95 && v < 6.05) {
+			x.Data()[i] = 1
+		}
+	}
+	checkInputGrad(t, r, x, 1e-2)
+}
+
+func TestBatchNormGradCheck(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	bn, err := NewBatchNorm2D("bn", 3)
+	if err != nil {
+		t.Fatalf("NewBatchNorm2D: %v", err)
+	}
+	// Randomize gamma/beta so gradients are generic.
+	bn.gamma.Value.FillNormal(rng, 1, 0.2)
+	bn.beta.Value.FillNormal(rng, 0, 0.2)
+	x := tensor.New(4, 3, 3, 3)
+	x.FillNormal(rng, 0, 1)
+	checkInputGrad(t, bn, x, 3e-2)
+	checkParamGrad(t, bn, x, bn.gamma, 3e-2)
+	checkParamGrad(t, bn, x, bn.beta, 3e-2)
+}
+
+func TestPoolGradChecks(t *testing.T) {
+	rng := tensor.NewRNG(8)
+	gap := NewGlobalAvgPool("gap")
+	x := tensor.New(2, 3, 4, 4)
+	x.FillNormal(rng, 0, 1)
+	checkInputGrad(t, gap, x, 1e-2)
+
+	mp, err := NewMaxPool2D("mp", 2)
+	if err != nil {
+		t.Fatalf("NewMaxPool2D: %v", err)
+	}
+	x2 := tensor.New(2, 2, 4, 4)
+	x2.FillNormal(rng, 0, 1)
+	checkInputGrad(t, mp, x2, 1e-2)
+}
+
+func TestResidualGradCheck(t *testing.T) {
+	rng := tensor.NewRNG(9)
+	g := tensor.ConvGeom{InC: 2, InH: 4, InW: 4, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	conv, err := NewConv2D(Conv2DConfig{Name: "rc", In: g, OutC: 2, RNG: rng})
+	if err != nil {
+		t.Fatalf("NewConv2D: %v", err)
+	}
+	res := NewResidual("res", conv, nil)
+	x := tensor.New(2, 2, 4, 4)
+	x.FillNormal(rng, 0, 1)
+	checkInputGrad(t, res, x, 2e-2)
+	checkParamGrad(t, res, x, conv.weight, 2e-2)
+}
+
+func TestSequentialGradCheck(t *testing.T) {
+	rng := tensor.NewRNG(10)
+	g := tensor.ConvGeom{InC: 2, InH: 4, InW: 4, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	conv, err := NewConv2D(Conv2DConfig{Name: "sc", In: g, OutC: 2, RNG: rng})
+	if err != nil {
+		t.Fatalf("NewConv2D: %v", err)
+	}
+	seq := NewSequential("seq", conv, NewReLU("sr"), NewGlobalAvgPool("sg"))
+	x := tensor.New(2, 2, 4, 4)
+	x.FillNormal(rng, 0, 1)
+	checkInputGrad(t, seq, x, 2e-2)
+}
+
+func TestSoftmaxCrossEntropyGradCheck(t *testing.T) {
+	rng := tensor.NewRNG(11)
+	logits := tensor.New(3, 5)
+	logits.FillNormal(rng, 0, 1)
+	labels := []int{1, 4, 0}
+	var loss SoftmaxCrossEntropy
+	_, grad, err := loss.Forward(logits, labels)
+	if err != nil {
+		t.Fatalf("loss: %v", err)
+	}
+	const h = 1e-3
+	for _, i := range probeIndices(logits.Len()) {
+		orig := logits.Data()[i]
+		logits.Data()[i] = orig + h
+		plus, _, err := loss.Forward(logits, labels)
+		if err != nil {
+			t.Fatalf("loss: %v", err)
+		}
+		logits.Data()[i] = orig - h
+		minus, _, err := loss.Forward(logits, labels)
+		if err != nil {
+			t.Fatalf("loss: %v", err)
+		}
+		logits.Data()[i] = orig
+		num := (plus - minus) / (2 * h)
+		got := float64(grad.Data()[i])
+		if math.Abs(num-got) > 1e-3*(1+math.Abs(num)) {
+			t.Errorf("logit grad[%d]: analytic %.6f vs numeric %.6f", i, got, num)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+// Package nn implements the neural-network layer framework the APT
+// reproduction trains: convolution, linear, batch-norm, activations,
+// pooling, residual and inverted-residual blocks, and a softmax
+// cross-entropy loss. Layers operate on NCHW float32 batches from
+// internal/tensor and expose their learnable state through Param so the
+// optimizer (internal/optim) and the APT controller (internal/core) can
+// quantize, update and profile them uniformly.
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/quant"
+	"repro/internal/tensor"
+)
+
+// Param is one learnable tensor of a layer together with its gradient and
+// quantization state.
+//
+// Precision modes:
+//   - Q == nil: full-precision fp32 parameter (the paper's fp32 baseline).
+//   - Q != nil, Master == nil: the APT mode — the value itself lives on the
+//     k-bit grid and is updated with the truncated rule (Eq. 3); the same
+//     low-precision tensor is used by both FPROP and BPROP.
+//   - Q != nil, Master != nil: the "fp32 master copy" mode used by the
+//     comparison baselines (BNN, TWN, TTQ, DoReFa, …): updates are applied
+//     to Master in fp32 and Value is re-quantized from it each step, so
+//     training memory includes both copies.
+type Param struct {
+	Name   string
+	Value  *tensor.Tensor
+	Grad   *tensor.Tensor
+	Q      *quant.State
+	Master *tensor.Tensor
+
+	// Underflowed accumulates, per optimizer step, how many elements of
+	// the most recent update were dropped by quantization underflow.
+	Underflowed int
+}
+
+// NewParam allocates a parameter and a zeroed gradient of the same shape.
+func NewParam(name string, value *tensor.Tensor) *Param {
+	return &Param{Name: name, Value: value, Grad: tensor.New(value.Shape()...)}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// Bits returns the parameter's current storage bitwidth (32 when fp32).
+func (p *Param) Bits() int {
+	if p.Q == nil {
+		return quant.MaxBits
+	}
+	return p.Q.Bits
+}
+
+// SetBits changes the parameter's bitwidth and re-quantizes its value onto
+// the new grid, preserving an existing master copy if present. Passing
+// quant.MaxBits keeps the State (so the controller can later reduce
+// precision again) but the grid behaves as full precision.
+func (p *Param) SetBits(k int) error {
+	if k < quant.MinBits || k > quant.MaxBits {
+		return fmt.Errorf("%w: %d", quant.ErrBits, k)
+	}
+	if p.Q == nil {
+		st, err := quant.NewState(k)
+		if err != nil {
+			return err
+		}
+		p.Q = st
+	} else {
+		p.Q.Bits = k
+	}
+	src := p.Value
+	if p.Master != nil {
+		// Master-copy mode re-derives the quantized view from fp32.
+		if err := p.Value.CopyFrom(p.Master); err != nil {
+			return err
+		}
+		src = p.Value
+	}
+	p.Q.Quantize(src)
+	return nil
+}
+
+// EnableMaster switches the parameter into fp32-master-copy mode, seeding
+// the master with the current value.
+func (p *Param) EnableMaster() {
+	if p.Master == nil {
+		p.Master = p.Value.Clone()
+	}
+}
+
+// Eps returns the parameter's current minimum resolution ε (0 for fp32).
+func (p *Param) Eps() float32 {
+	if p.Q == nil {
+		return 0
+	}
+	return p.Q.Eps
+}
+
+// Gavg evaluates Eq. 4 on the parameter's current gradient and resolution.
+func (p *Param) Gavg() float64 {
+	return quant.Gavg(p.Grad, p.Eps())
+}
+
+// SizeBits returns this parameter's training-time storage cost in bits:
+// the (possibly quantized) working copy plus the fp32 master if present.
+func (p *Param) SizeBits() int64 {
+	bits := quant.SizeBits(p.Value.Len(), p.Bits())
+	if p.Master != nil {
+		bits += quant.SizeBits(p.Master.Len(), quant.MaxBits)
+	}
+	return bits
+}

@@ -1,0 +1,228 @@
+package optim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func singleParam(vals []float32) *nn.Param {
+	v := tensor.MustFromSlice(append([]float32(nil), vals...), len(vals))
+	return nn.NewParam("w", v)
+}
+
+func TestSGDPlainStep(t *testing.T) {
+	p := singleParam([]float32{1, 2})
+	p.Grad.Data()[0] = 0.5
+	p.Grad.Data()[1] = -0.5
+	sgd := NewSGD(0.1, 0, 0)
+	if err := sgd.Step([]*nn.Param{p}); err != nil {
+		t.Fatalf("Step: %v", err)
+	}
+	if math.Abs(float64(p.Value.Data()[0])-0.95) > 1e-6 ||
+		math.Abs(float64(p.Value.Data()[1])-2.05) > 1e-6 {
+		t.Errorf("values = %v, want [0.95 2.05]", p.Value.Data())
+	}
+	// Gradients cleared after the step.
+	if p.Grad.Data()[0] != 0 || p.Grad.Data()[1] != 0 {
+		t.Error("gradients not zeroed after Step")
+	}
+}
+
+func TestSGDMomentumAccumulates(t *testing.T) {
+	p := singleParam([]float32{0})
+	sgd := NewSGD(1, 0.9, 0)
+	// Two steps with constant gradient 1: v1 = 1, v2 = 0.9 + 1 = 1.9
+	// w after step 1: -1; after step 2: -2.9
+	p.Grad.Data()[0] = 1
+	if err := sgd.Step([]*nn.Param{p}); err != nil {
+		t.Fatalf("Step: %v", err)
+	}
+	p.Grad.Data()[0] = 1
+	if err := sgd.Step([]*nn.Param{p}); err != nil {
+		t.Fatalf("Step: %v", err)
+	}
+	if math.Abs(float64(p.Value.Data()[0])+2.9) > 1e-6 {
+		t.Errorf("w = %v, want -2.9", p.Value.Data()[0])
+	}
+}
+
+func TestSGDWeightDecay(t *testing.T) {
+	p := singleParam([]float32{10})
+	sgd := NewSGD(0.1, 0, 0.01)
+	// zero gradient: step = lr * wd * w = 0.1*0.01*10 = 0.01
+	if err := sgd.Step([]*nn.Param{p}); err != nil {
+		t.Fatalf("Step: %v", err)
+	}
+	if math.Abs(float64(p.Value.Data()[0])-9.99) > 1e-6 {
+		t.Errorf("w = %v, want 9.99", p.Value.Data()[0])
+	}
+}
+
+func TestSGDQuantizedPathUnderflows(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	v := tensor.New(64)
+	v.FillNormal(rng, 0, 1)
+	p := nn.NewParam("w", v)
+	if err := p.SetBits(4); err != nil {
+		t.Fatalf("SetBits: %v", err)
+	}
+	eps := p.Eps()
+	before := p.Value.Clone()
+	// Gradient so small that lr*g << eps everywhere: every update drops.
+	p.Grad.Fill(eps / 1000)
+	sgd := NewSGD(0.1, 0, 0)
+	if err := sgd.Step([]*nn.Param{p}); err != nil {
+		t.Fatalf("Step: %v", err)
+	}
+	for i := range before.Data() {
+		if p.Value.Data()[i] != before.Data()[i] {
+			t.Fatal("underflowing update moved a quantized weight")
+		}
+	}
+	if p.Underflowed != 64 {
+		t.Errorf("Underflowed = %d, want 64", p.Underflowed)
+	}
+}
+
+func TestSGDQuantizedPathLargeStepMoves(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	v := tensor.New(64)
+	v.FillNormal(rng, 0, 1)
+	p := nn.NewParam("w", v)
+	if err := p.SetBits(6); err != nil {
+		t.Fatalf("SetBits: %v", err)
+	}
+	eps := p.Eps()
+	before := p.Value.Clone()
+	p.Grad.Fill(eps * 100) // lr 0.1 -> step = 10*eps
+	sgd := NewSGD(0.1, 0, 0)
+	if err := sgd.Step([]*nn.Param{p}); err != nil {
+		t.Fatalf("Step: %v", err)
+	}
+	moved := 0
+	for i := range before.Data() {
+		if p.Value.Data()[i] != before.Data()[i] {
+			moved++
+		}
+	}
+	if moved != 64 {
+		t.Errorf("moved %d of 64 weights, want all", moved)
+	}
+}
+
+func TestSGDMasterPathKeepsFP32Accumulation(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	v := tensor.New(64)
+	v.FillNormal(rng, 0, 1)
+	p := nn.NewParam("w", v)
+	p.EnableMaster()
+	if err := p.SetBits(2); err != nil {
+		t.Fatalf("SetBits: %v", err)
+	}
+	masterBefore := p.Master.Clone()
+	// A tiny gradient that would underflow the 2-bit grid must still
+	// accumulate in the fp32 master.
+	p.Grad.Fill(1e-4)
+	sgd := NewSGD(0.1, 0, 0)
+	if err := sgd.Step([]*nn.Param{p}); err != nil {
+		t.Fatalf("Step: %v", err)
+	}
+	changed := false
+	for i := range masterBefore.Data() {
+		if p.Master.Data()[i] != masterBefore.Data()[i] {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Error("master copy did not accumulate a small update")
+	}
+	// The working copy stays on the 2-bit grid.
+	distinct := make(map[float32]bool)
+	for _, x := range p.Value.Data() {
+		distinct[x] = true
+	}
+	if len(distinct) > 4 {
+		t.Errorf("2-bit working copy has %d levels", len(distinct))
+	}
+}
+
+// Property: with momentum and decay of zero, the fp32 path computes
+// exactly w - lr*g.
+func TestSGDPlainStepProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		n := 1 + rng.Intn(16)
+		p := nn.NewParam("w", tensor.New(n))
+		p.Value.FillNormal(rng, 0, 1)
+		p.Grad.FillNormal(rng, 0, 1)
+		before := p.Value.Clone()
+		grad := p.Grad.Clone()
+		lr := rng.Float64()
+		sgd := NewSGD(lr, 0, 0)
+		if err := sgd.Step([]*nn.Param{p}); err != nil {
+			return false
+		}
+		for i := range before.Data() {
+			want := before.Data()[i] - float32(lr)*grad.Data()[i]
+			if math.Abs(float64(p.Value.Data()[i]-want)) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStepSchedule(t *testing.T) {
+	s := StepSchedule{Base: 0.1, Milestones: []int{100, 150}, Factor: 0.1}
+	cases := []struct {
+		epoch int
+		want  float64
+	}{
+		{0, 0.1}, {99, 0.1}, {100, 0.01}, {149, 0.01}, {150, 0.001}, {199, 0.001},
+	}
+	for _, tc := range cases {
+		if got := s.LR(tc.epoch); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("LR(%d) = %v, want %v", tc.epoch, got, tc.want)
+		}
+	}
+}
+
+func TestStepScheduleDefaultFactor(t *testing.T) {
+	s := StepSchedule{Base: 1, Milestones: []int{1}}
+	if got := s.LR(1); got != 0.1 {
+		t.Errorf("default factor LR = %v, want 0.1", got)
+	}
+}
+
+func TestWarmupSchedule(t *testing.T) {
+	s := WarmupSchedule{
+		Warm: 0.01, WarmEpochs: 2,
+		Inner: StepSchedule{Base: 0.1, Milestones: []int{100}, Factor: 0.1},
+	}
+	if got := s.LR(0); got != 0.01 {
+		t.Errorf("warm LR(0) = %v, want 0.01", got)
+	}
+	if got := s.LR(1); got != 0.01 {
+		t.Errorf("warm LR(1) = %v, want 0.01", got)
+	}
+	if got := s.LR(2); got != 0.1 {
+		t.Errorf("post-warm LR(2) = %v, want 0.1", got)
+	}
+	if got := s.LR(150); math.Abs(got-0.01) > 1e-12 {
+		t.Errorf("post-milestone LR(150) = %v, want 0.01", got)
+	}
+}
+
+func TestConstSchedule(t *testing.T) {
+	if got := ConstSchedule(0.05).LR(123); got != 0.05 {
+		t.Errorf("ConstSchedule LR = %v", got)
+	}
+}

@@ -1,0 +1,203 @@
+// Package quant implements the affine quantization scheme the paper adopts
+// from Jacob et al. (CVPR 2018) together with the quantization-underflow
+// machinery that Adaptive Precision Training is built on:
+//
+//   - the affine map r = S·(q − Z) with a per-tensor scale S and zero
+//     point Z (§III);
+//   - the minimum representable update ε_i = (max Wᵢ − min Wᵢ)/(2^k − 1)
+//     (Eq. 2);
+//   - the quantized weight-update rule w := w − ⌊lr·g/ε⌋·ε (Eq. 3), whose
+//     truncation drops any update smaller than ε — the underflow APT
+//     detects and corrects;
+//   - the underflow metric Gavg = (1/N)·Σ|g/ε| (Eq. 4).
+//
+// Quantization is simulated on the float32 grid: a quantized tensor holds
+// float32 values that always lie on the affine grid of its current state.
+// This is numerically identical to integer storage for every quantity the
+// paper studies while keeping the tensor engine uniform, and it is how the
+// reference TensorFlow/PyTorch "fake quant" training paths work as well.
+package quant
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Bitwidth limits from Algorithm 1: precision never leaves [MinBits,
+// MaxBits]. At MaxBits (32) a tensor is treated as full precision.
+const (
+	MinBits = 2
+	MaxBits = 32
+)
+
+// ErrBits is returned for bitwidths outside [MinBits, MaxBits].
+var ErrBits = errors.New("quant: bitwidth out of range")
+
+// State carries the affine quantization parameters of one tensor: the
+// bitwidth k and the grid derived from the tensor's live value range. A nil
+// *State means "full precision fp32".
+type State struct {
+	Bits int     // k: number of bits, in [MinBits, MaxBits]
+	Min  float32 // live minimum of the tensor when the grid was refreshed
+	Max  float32 // live maximum of the tensor when the grid was refreshed
+	Eps  float32 // ε = (Max−Min)/(2^k −1); 0 means full precision
+}
+
+// NewState returns a state with bitwidth k and an empty grid; call Refresh
+// before use. An error is returned for k outside [MinBits, MaxBits].
+func NewState(k int) (*State, error) {
+	if k < MinBits || k > MaxBits {
+		return nil, fmt.Errorf("%w: %d not in [%d, %d]", ErrBits, k, MinBits, MaxBits)
+	}
+	return &State{Bits: k}, nil
+}
+
+// FullPrecision reports whether the state behaves as fp32 (k == MaxBits or
+// a degenerate grid).
+func (s *State) FullPrecision() bool {
+	return s == nil || s.Bits >= MaxBits
+}
+
+// Epsilon computes Eq. 2 for an explicit range and bitwidth: the minimum
+// resolution of a k-bit tensor spanning [min, max]. A degenerate range
+// (max <= min) yields 0, which callers must treat as "no grid yet".
+func Epsilon(min, max float32, k int) float32 {
+	if k >= MaxBits {
+		return 0
+	}
+	span := float64(max) - float64(min)
+	if span <= 0 {
+		return 0
+	}
+	levels := math.Pow(2, float64(k)) - 1
+	return float32(span / levels)
+}
+
+// Refresh recomputes the grid (Min, Max, Eps) from the live values of t.
+// The paper re-derives S and Z from the tensor range; we do the same every
+// time precision changes or the range drifts.
+func (s *State) Refresh(t *tensor.Tensor) {
+	min, max := t.MinMax()
+	s.Min, s.Max = min, max
+	s.Eps = Epsilon(min, max, s.Bits)
+}
+
+// Scale returns the affine scale S (identical to Eps for the per-tensor
+// min/max scheme) and the zero point Z such that r = S(q − Z) maps
+// q ∈ [0, 2^k−1] onto [Min, Max].
+func (s *State) Scale() (S float32, Z int32) {
+	if s.FullPrecision() || s.Eps == 0 {
+		return 1, 0
+	}
+	return s.Eps, int32(math.Round(float64(-s.Min) / float64(s.Eps)))
+}
+
+// SnapInPlace projects every element of t onto the current grid:
+// r ↦ Min + round((r−Min)/ε)·ε, clamped to [Min, Max]. With a degenerate
+// or full-precision grid it is a no-op.
+func (s *State) SnapInPlace(t *tensor.Tensor) {
+	if s.FullPrecision() || s.Eps == 0 {
+		return
+	}
+	min, eps := s.Min, s.Eps
+	levels := math.Pow(2, float64(s.Bits)) - 1
+	d := t.Data()
+	for i, v := range d {
+		q := math.Round(float64(v-min) / float64(eps))
+		if q < 0 {
+			q = 0
+		} else if q > levels {
+			q = levels
+		}
+		d[i] = min + float32(q)*eps
+	}
+}
+
+// Quantize refreshes the grid from t's live range and snaps t onto it.
+// This is the entry point used when a layer's bitwidth changes.
+func (s *State) Quantize(t *tensor.Tensor) {
+	s.Refresh(t)
+	s.SnapInPlace(t)
+}
+
+// UpdateInPlace applies the paper's Eq. 3 to a weight tensor: each element
+// moves by trunc(update/ε)·ε, so any |update| < ε is silently dropped —
+// quantization underflow. update is the full already-composed step
+// (learning rate, momentum and weight decay folded in by the optimizer),
+// applied as w := w − step. After the update the values are clamped onto
+// the affine range; the range itself is re-derived lazily by the caller
+// via Refresh (mirroring the paper, which recomputes S and Z per tensor).
+//
+// With a full-precision state the update degenerates to plain SGD.
+// It returns the number of elements whose update underflowed to zero.
+func (s *State) UpdateInPlace(w, update *tensor.Tensor) (underflowed int, err error) {
+	if !w.SameShape(update) {
+		return 0, fmt.Errorf("quant: update shape %v does not match weight %v", update.Shape(), w.Shape())
+	}
+	wd, ud := w.Data(), update.Data()
+	if s.FullPrecision() || s.Eps == 0 {
+		for i := range wd {
+			wd[i] -= ud[i]
+		}
+		return 0, nil
+	}
+	eps := float64(s.Eps)
+	for i := range wd {
+		steps := math.Trunc(float64(ud[i]) / eps) // Eq. 3: ⌊lr·g/ε⌋, toward zero
+		if steps == 0 {
+			if ud[i] != 0 {
+				underflowed++
+			}
+			continue
+		}
+		wd[i] -= float32(steps * eps)
+	}
+	return underflowed, nil
+}
+
+// Gavg computes Eq. 4 for a gradient tensor under resolution eps: the mean
+// of |g/ε| over all elements. It returns +Inf conceptually when eps is 0
+// (full precision never underflows); we report a large sentinel instead so
+// downstream arithmetic (moving averages, comparisons against thresholds)
+// stays finite.
+func Gavg(g *tensor.Tensor, eps float32) float64 {
+	if g.Len() == 0 {
+		return 0
+	}
+	if eps <= 0 {
+		return GavgFullPrecision
+	}
+	return g.AbsMean() / float64(eps)
+}
+
+// GavgFullPrecision is the sentinel Gavg value reported for full-precision
+// tensors (ε → 0 ⇒ Gavg → ∞). It is far above any plausible Tmax.
+const GavgFullPrecision = 1e12
+
+// UnderflowFraction reports the fraction of elements of g whose scaled
+// update |g/ε| falls below 1, i.e. would be dropped by Eq. 3 at unit
+// learning rate. This is the alternative metric used by the ablation
+// benchmarks.
+func UnderflowFraction(g *tensor.Tensor, eps float32) float64 {
+	n := g.Len()
+	if n == 0 || eps <= 0 {
+		return 0
+	}
+	cnt := 0
+	e := float64(eps)
+	for _, v := range g.Data() {
+		if math.Abs(float64(v)) < e {
+			cnt++
+		}
+	}
+	return float64(cnt) / float64(n)
+}
+
+// SizeBits returns the storage cost, in bits, of n parameters held at
+// bitwidth k (k = 32 for fp32).
+func SizeBits(n int, k int) int64 {
+	return int64(n) * int64(k)
+}

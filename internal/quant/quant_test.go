@@ -1,0 +1,315 @@
+package quant
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func TestNewStateValidation(t *testing.T) {
+	for _, k := range []int{MinBits, 8, MaxBits} {
+		if _, err := NewState(k); err != nil {
+			t.Errorf("NewState(%d): %v", k, err)
+		}
+	}
+	for _, k := range []int{0, 1, 33, -4} {
+		if _, err := NewState(k); !errors.Is(err, ErrBits) {
+			t.Errorf("NewState(%d) err = %v, want ErrBits", k, err)
+		}
+	}
+}
+
+func TestEpsilonEq2(t *testing.T) {
+	// Eq. 2: eps = (max - min) / (2^k - 1)
+	cases := []struct {
+		min, max float32
+		k        int
+		want     float64
+	}{
+		{0, 1, 2, 1.0 / 3},
+		{-1, 1, 2, 2.0 / 3},
+		{-1, 1, 8, 2.0 / 255},
+		{0, 255, 8, 1},
+		{-1, 1, 32, 0}, // full precision
+		{1, 1, 8, 0},   // degenerate range
+		{2, 1, 8, 0},   // inverted range
+	}
+	for _, tc := range cases {
+		got := float64(Epsilon(tc.min, tc.max, tc.k))
+		if math.Abs(got-tc.want) > 1e-6 {
+			t.Errorf("Epsilon(%v, %v, %d) = %v, want %v", tc.min, tc.max, tc.k, got, tc.want)
+		}
+	}
+}
+
+// Property: eps is monotone non-increasing in k — more bits, finer grid.
+func TestEpsilonMonotoneInBitsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		min := float32(rng.Norm())
+		max := min + float32(math.Abs(rng.Norm())) + 0.01
+		prev := math.Inf(1)
+		for k := MinBits; k < MaxBits; k++ {
+			e := float64(Epsilon(min, max, k))
+			if e > prev {
+				return false
+			}
+			if e <= 0 {
+				return false // non-degenerate range must give positive eps below 32 bits
+			}
+			prev = e
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: snapping is idempotent and bounds the round-off by eps/2
+// (interior points) while clamping to [min, max].
+func TestSnapProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		k := MinBits + rng.Intn(10)
+		st, err := NewState(k)
+		if err != nil {
+			return false
+		}
+		v := tensor.New(64)
+		v.FillNormal(rng, 0, 1)
+		orig := v.Clone()
+		st.Quantize(v)
+		eps := float64(st.Eps)
+		if eps <= 0 {
+			return false
+		}
+		for i, q := range v.Data() {
+			o := float64(orig.Data()[i])
+			if o >= float64(st.Min) && o <= float64(st.Max) {
+				if math.Abs(float64(q)-o) > eps/2+1e-6 {
+					return false
+				}
+			}
+			if float64(q) < float64(st.Min)-1e-6 || float64(q) > float64(st.Max)+1e-6 {
+				return false
+			}
+		}
+		// Idempotence: snapping snapped values changes nothing.
+		snapped := v.Clone()
+		st.SnapInPlace(snapped)
+		for i := range v.Data() {
+			if math.Abs(float64(snapped.Data()[i]-v.Data()[i])) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGridLevelCount(t *testing.T) {
+	// A k-bit grid over the live range must contain at most 2^k distinct values.
+	rng := tensor.NewRNG(44)
+	for _, k := range []int{2, 3, 4, 6} {
+		st, err := NewState(k)
+		if err != nil {
+			t.Fatalf("NewState: %v", err)
+		}
+		v := tensor.New(4096)
+		v.FillNormal(rng, 0, 1)
+		st.Quantize(v)
+		distinct := make(map[float32]bool)
+		for _, x := range v.Data() {
+			distinct[x] = true
+		}
+		if len(distinct) > 1<<k {
+			t.Errorf("k=%d produced %d distinct levels, want <= %d", k, len(distinct), 1<<k)
+		}
+	}
+}
+
+func TestUpdateInPlaceEq3(t *testing.T) {
+	// Weight grid [0, 1] at 2 bits: eps = 1/3. An update of 0.5 must move
+	// the weight by exactly trunc(0.5/eps)*eps = 1*eps; an update of 0.2
+	// (< eps) must be dropped.
+	st := &State{Bits: 2, Min: 0, Max: 1, Eps: 1.0 / 3}
+	w := tensor.MustFromSlice([]float32{2.0 / 3, 2.0 / 3, 2.0 / 3}, 3)
+	up := tensor.MustFromSlice([]float32{0.5, 0.2, -0.2}, 3)
+	uf, err := st.UpdateInPlace(w, up)
+	if err != nil {
+		t.Fatalf("UpdateInPlace: %v", err)
+	}
+	if uf != 2 {
+		t.Errorf("underflowed = %d, want 2", uf)
+	}
+	if math.Abs(float64(w.Data()[0])-(2.0/3-1.0/3)) > 1e-6 {
+		t.Errorf("w[0] = %v, want 1/3", w.Data()[0])
+	}
+	if w.Data()[1] != 2.0/3 || w.Data()[2] != 2.0/3 {
+		t.Errorf("underflowed updates moved the weight: %v", w.Data())
+	}
+}
+
+func TestUpdateInPlaceFullPrecision(t *testing.T) {
+	var st *State // nil = fp32
+	w := tensor.MustFromSlice([]float32{1, 2}, 2)
+	up := tensor.MustFromSlice([]float32{0.25, -0.25}, 2)
+	uf, err := st.UpdateInPlace(w, up)
+	if err != nil {
+		t.Fatalf("UpdateInPlace: %v", err)
+	}
+	if uf != 0 {
+		t.Errorf("fp32 underflow count = %d, want 0", uf)
+	}
+	if w.Data()[0] != 0.75 || w.Data()[1] != 2.25 {
+		t.Errorf("fp32 update wrong: %v", w.Data())
+	}
+}
+
+func TestUpdateInPlaceShapeError(t *testing.T) {
+	st := &State{Bits: 8, Min: 0, Max: 1, Eps: 1.0 / 255}
+	w := tensor.New(3)
+	up := tensor.New(4)
+	if _, err := st.UpdateInPlace(w, up); err == nil {
+		t.Error("shape-mismatched update did not error")
+	}
+}
+
+// Property: quantized updates leave weights on the grid spanned by eps:
+// each weight moves by an integer multiple of eps.
+func TestUpdateStaysOnGridProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		k := MinBits + rng.Intn(8)
+		st, err := NewState(k)
+		if err != nil {
+			return false
+		}
+		w := tensor.New(32)
+		w.FillNormal(rng, 0, 1)
+		st.Quantize(w)
+		if st.Eps == 0 {
+			return true
+		}
+		before := w.Clone()
+		up := tensor.New(32)
+		up.FillNormal(rng, 0, 0.3)
+		if _, err := st.UpdateInPlace(w, up); err != nil {
+			return false
+		}
+		for i := range w.Data() {
+			delta := float64(w.Data()[i] - before.Data()[i])
+			steps := delta / float64(st.Eps)
+			if math.Abs(steps-math.Round(steps)) > 1e-3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGavgEq4(t *testing.T) {
+	g := tensor.MustFromSlice([]float32{0.1, -0.2, 0.3, -0.4}, 4)
+	got := Gavg(g, 0.1)
+	want := (1 + 2 + 3 + 4) / 4.0
+	if math.Abs(got-want) > 1e-6 {
+		t.Errorf("Gavg = %v, want %v", got, want)
+	}
+	if Gavg(g, 0) != GavgFullPrecision {
+		t.Error("Gavg with eps=0 should return the full-precision sentinel")
+	}
+	empty := tensor.New(1)
+	empty.Data()[0] = 0
+	if Gavg(empty, 0.5) != 0 {
+		t.Error("Gavg of zero gradient should be 0")
+	}
+}
+
+// Property: Gavg scales inversely with eps and is monotone in precision:
+// for the same gradients, a higher-precision grid (smaller eps) gives a
+// strictly larger Gavg.
+func TestGavgMonotoneInPrecisionProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		g := tensor.New(16)
+		g.FillNormal(rng, 0, 1)
+		if g.AbsMean() == 0 {
+			return true
+		}
+		prev := -1.0
+		for k := MinBits; k <= 16; k++ {
+			eps := Epsilon(-1, 1, k)
+			v := Gavg(g, eps)
+			if v <= prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnderflowFraction(t *testing.T) {
+	g := tensor.MustFromSlice([]float32{0.05, -0.05, 0.5, -0.5}, 4)
+	if got := UnderflowFraction(g, 0.1); got != 0.5 {
+		t.Errorf("UnderflowFraction = %v, want 0.5", got)
+	}
+	if got := UnderflowFraction(g, 0); got != 0 {
+		t.Errorf("UnderflowFraction(eps=0) = %v, want 0", got)
+	}
+}
+
+func TestScaleZeroPoint(t *testing.T) {
+	st, err := NewState(8)
+	if err != nil {
+		t.Fatalf("NewState: %v", err)
+	}
+	v := tensor.MustFromSlice([]float32{-1, 0, 1}, 3)
+	st.Refresh(v)
+	s, z := st.Scale()
+	if s != st.Eps {
+		t.Errorf("Scale S = %v, want eps %v", s, st.Eps)
+	}
+	// r = S(q - Z): q = Z must map to ~min + Z*eps... check Z maps 0 near range.
+	r0 := float64(s) * float64(0-z)
+	if math.Abs(r0-float64(st.Min)) > float64(st.Eps) {
+		t.Errorf("zero point inconsistent: S(0-Z) = %v, min = %v", r0, st.Min)
+	}
+}
+
+func TestSizeBits(t *testing.T) {
+	if got := SizeBits(100, 6); got != 600 {
+		t.Errorf("SizeBits = %d, want 600", got)
+	}
+	if got := SizeBits(0, 32); got != 0 {
+		t.Errorf("SizeBits(0) = %d, want 0", got)
+	}
+}
+
+func TestNaNGradientDoesNotPoisonUpdate(t *testing.T) {
+	// Failure injection: a NaN gradient element must not move other
+	// weights; the NaN element's own weight becomes NaN only through the
+	// plain fp32 path, while the quantized path drops it (trunc(NaN) -> NaN
+	// steps... guard documents actual behaviour).
+	st := &State{Bits: 4, Min: -1, Max: 1, Eps: 2.0 / 15}
+	w := tensor.MustFromSlice([]float32{0, 0.5}, 2)
+	up := tensor.MustFromSlice([]float32{float32(math.NaN()), 0.5}, 2)
+	if _, err := st.UpdateInPlace(w, up); err != nil {
+		t.Fatalf("UpdateInPlace: %v", err)
+	}
+	if w.Data()[1] == 0.5 {
+		t.Error("healthy element did not update alongside NaN neighbour")
+	}
+}

@@ -1,0 +1,156 @@
+package tensor
+
+import "fmt"
+
+// ConvGeom describes the geometry of a 2-D convolution: input spatial size,
+// kernel, stride and symmetric zero padding.
+type ConvGeom struct {
+	InC, InH, InW int // input channels / height / width
+	KH, KW        int // kernel height / width
+	Stride        int
+	Pad           int
+}
+
+// OutHW returns the spatial output size of the convolution.
+func (g ConvGeom) OutHW() (int, int) {
+	oh := (g.InH+2*g.Pad-g.KH)/g.Stride + 1
+	ow := (g.InW+2*g.Pad-g.KW)/g.Stride + 1
+	return oh, ow
+}
+
+// Validate returns an error when the geometry is degenerate.
+func (g ConvGeom) Validate() error {
+	if g.InC <= 0 || g.InH <= 0 || g.InW <= 0 || g.KH <= 0 || g.KW <= 0 {
+		return fmt.Errorf("%w: conv geometry %+v has non-positive dims", ErrShape, g)
+	}
+	if g.Stride <= 0 {
+		return fmt.Errorf("%w: conv stride %d must be positive", ErrShape, g.Stride)
+	}
+	if g.Pad < 0 {
+		return fmt.Errorf("%w: conv pad %d must be non-negative", ErrShape, g.Pad)
+	}
+	oh, ow := g.OutHW()
+	if oh <= 0 || ow <= 0 {
+		return fmt.Errorf("%w: conv geometry %+v yields empty output %dx%d", ErrShape, g, oh, ow)
+	}
+	return nil
+}
+
+// Im2Col unrolls one image (C, H, W) into a matrix of shape
+// (C*KH*KW, OH*OW) so convolution becomes a GEMM with the (outC, C*KH*KW)
+// weight matrix. Out-of-bounds taps contribute zeros (zero padding).
+func Im2Col(img *Tensor, g ConvGeom) (*Tensor, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if img.Rank() != 3 || img.shape[0] != g.InC || img.shape[1] != g.InH || img.shape[2] != g.InW {
+		return nil, fmt.Errorf("%w: im2col image %v does not match geometry %+v", ErrShape, img.shape, g)
+	}
+	oh, ow := g.OutHW()
+	cols := New(g.InC*g.KH*g.KW, oh*ow)
+	src := img.data
+	dst := cols.data
+	ncols := oh * ow
+	row := 0
+	for c := 0; c < g.InC; c++ {
+		base := c * g.InH * g.InW
+		for kh := 0; kh < g.KH; kh++ {
+			for kw := 0; kw < g.KW; kw++ {
+				drow := dst[row*ncols : (row+1)*ncols]
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*g.Stride + kh - g.Pad
+					if iy < 0 || iy >= g.InH {
+						continue // stays zero
+					}
+					srow := src[base+iy*g.InW:]
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*g.Stride + kw - g.Pad
+						if ix < 0 || ix >= g.InW {
+							continue
+						}
+						drow[oy*ow+ox] = srow[ix]
+					}
+				}
+				row++
+			}
+		}
+	}
+	return cols, nil
+}
+
+// Col2Im is the adjoint of Im2Col: it scatters a (C*KH*KW, OH*OW) column
+// matrix back into an image (C, H, W), accumulating overlapping taps. It is
+// used to back-propagate through the im2col transform.
+func Col2Im(cols *Tensor, g ConvGeom) (*Tensor, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	oh, ow := g.OutHW()
+	if cols.Rank() != 2 || cols.shape[0] != g.InC*g.KH*g.KW || cols.shape[1] != oh*ow {
+		return nil, fmt.Errorf("%w: col2im matrix %v does not match geometry %+v", ErrShape, cols.shape, g)
+	}
+	img := New(g.InC, g.InH, g.InW)
+	src := cols.data
+	dst := img.data
+	ncols := oh * ow
+	row := 0
+	for c := 0; c < g.InC; c++ {
+		base := c * g.InH * g.InW
+		for kh := 0; kh < g.KH; kh++ {
+			for kw := 0; kw < g.KW; kw++ {
+				srow := src[row*ncols : (row+1)*ncols]
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*g.Stride + kh - g.Pad
+					if iy < 0 || iy >= g.InH {
+						continue
+					}
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*g.Stride + kw - g.Pad
+						if ix < 0 || ix >= g.InW {
+							continue
+						}
+						dst[base+iy*g.InW+ix] += srow[oy*ow+ox]
+					}
+				}
+				row++
+			}
+		}
+	}
+	return img, nil
+}
+
+// ConvDirect computes a 2-D convolution of a single image the naive way.
+// It exists purely as a reference implementation for testing the
+// im2col+GEMM path. weight has shape (outC, inC, KH, KW).
+func ConvDirect(img, weight *Tensor, g ConvGeom) (*Tensor, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	outC := weight.shape[0]
+	oh, ow := g.OutHW()
+	out := New(outC, oh, ow)
+	for oc := 0; oc < outC; oc++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				var s float32
+				for c := 0; c < g.InC; c++ {
+					for kh := 0; kh < g.KH; kh++ {
+						iy := oy*g.Stride + kh - g.Pad
+						if iy < 0 || iy >= g.InH {
+							continue
+						}
+						for kw := 0; kw < g.KW; kw++ {
+							ix := ox*g.Stride + kw - g.Pad
+							if ix < 0 || ix >= g.InW {
+								continue
+							}
+							s += img.At(c, iy, ix) * weight.At(oc, c, kh, kw)
+						}
+					}
+				}
+				out.Set(s, oc, oy, ox)
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,91 @@
+package tensor
+
+import "fmt"
+
+// MatMul returns the matrix product a·b for 2-D tensors. It parallelizes
+// over rows of a and uses a k-inner loop ordered for cache-friendly access
+// to b.
+func MatMul(a, b *Tensor) (*Tensor, error) {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		return nil, fmt.Errorf("%w: matmul wants rank-2 operands, got %v x %v", ErrShape, a.shape, b.shape)
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		return nil, fmt.Errorf("%w: matmul inner dims %d != %d", ErrShape, k, k2)
+	}
+	out := New(m, n)
+	ad, bd, od := a.data, b.data, out.data
+	ParallelFor(m, func(i int) {
+		orow := od[i*n : (i+1)*n]
+		arow := ad[i*k : (i+1)*k]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := bd[p*n : (p+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	})
+	return out, nil
+}
+
+// MatMulTransA returns aᵀ·b where a is (k, m) and b is (k, n), producing
+// (m, n). Used for weight gradients without materializing transposes.
+func MatMulTransA(a, b *Tensor) (*Tensor, error) {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		return nil, fmt.Errorf("%w: matmulTA wants rank-2 operands, got %v x %v", ErrShape, a.shape, b.shape)
+	}
+	k, m := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		return nil, fmt.Errorf("%w: matmulTA inner dims %d != %d", ErrShape, k, k2)
+	}
+	out := New(m, n)
+	ad, bd, od := a.data, b.data, out.data
+	ParallelFor(m, func(i int) {
+		orow := od[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := ad[p*m+i]
+			if av == 0 {
+				continue
+			}
+			brow := bd[p*n : (p+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	})
+	return out, nil
+}
+
+// MatMulTransB returns a·bᵀ where a is (m, k) and b is (n, k), producing
+// (m, n). Used for input gradients without materializing transposes.
+func MatMulTransB(a, b *Tensor) (*Tensor, error) {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		return nil, fmt.Errorf("%w: matmulTB wants rank-2 operands, got %v x %v", ErrShape, a.shape, b.shape)
+	}
+	m, k := a.shape[0], a.shape[1]
+	n, k2 := b.shape[0], b.shape[1]
+	if k != k2 {
+		return nil, fmt.Errorf("%w: matmulTB inner dims %d != %d", ErrShape, k, k2)
+	}
+	out := New(m, n)
+	ad, bd, od := a.data, b.data, out.data
+	ParallelFor(m, func(i int) {
+		arow := ad[i*k : (i+1)*k]
+		orow := od[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := bd[j*k : (j+1)*k]
+			var s float32
+			for p, av := range arow {
+				s += av * brow[p]
+			}
+			orow[j] = s
+		}
+	})
+	return out, nil
+}

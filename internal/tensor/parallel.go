@@ -1,0 +1,64 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// maxWorkers bounds the per-operation goroutine fan-out. It is a variable
+// (not a constant) so tests can force serial execution.
+var maxWorkers = runtime.NumCPU()
+
+// SetMaxWorkers overrides the parallel fan-out used by ParallelFor. Values
+// below 1 are clamped to 1. It returns the previous setting so callers can
+// restore it. This is intended for tests and benchmarks; it is not
+// synchronized with in-flight operations.
+func SetMaxWorkers(n int) int {
+	prev := maxWorkers
+	if n < 1 {
+		n = 1
+	}
+	maxWorkers = n
+	return prev
+}
+
+// ParallelFor runs fn(i) for i in [0, n) across up to maxWorkers
+// goroutines, blocking until all iterations complete. Work is partitioned
+// into contiguous chunks so each index is processed exactly once and
+// results are independent of scheduling. fn must not panic; iterations must
+// be independent.
+func ParallelFor(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers := maxWorkers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}

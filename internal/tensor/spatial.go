@@ -1,0 +1,66 @@
+package tensor
+
+import "fmt"
+
+// Pad2D zero-pads a (C, H, W) image by p pixels on each spatial side.
+func Pad2D(img *Tensor, p int) (*Tensor, error) {
+	if img.Rank() != 3 {
+		return nil, fmt.Errorf("%w: pad2d wants rank-3 image, got %v", ErrShape, img.shape)
+	}
+	if p < 0 {
+		return nil, fmt.Errorf("%w: negative padding %d", ErrShape, p)
+	}
+	if p == 0 {
+		return img.Clone(), nil
+	}
+	c, h, w := img.shape[0], img.shape[1], img.shape[2]
+	out := New(c, h+2*p, w+2*p)
+	ow := w + 2*p
+	for ch := 0; ch < c; ch++ {
+		for y := 0; y < h; y++ {
+			srcOff := (ch*h + y) * w
+			dstOff := (ch*(h+2*p)+y+p)*ow + p
+			copy(out.data[dstOff:dstOff+w], img.data[srcOff:srcOff+w])
+		}
+	}
+	return out, nil
+}
+
+// Crop2D extracts an (C, ch, cw) window whose top-left corner is (y, x)
+// from a (C, H, W) image.
+func Crop2D(img *Tensor, y, x, ch, cw int) (*Tensor, error) {
+	if img.Rank() != 3 {
+		return nil, fmt.Errorf("%w: crop2d wants rank-3 image, got %v", ErrShape, img.shape)
+	}
+	c, h, w := img.shape[0], img.shape[1], img.shape[2]
+	if y < 0 || x < 0 || ch <= 0 || cw <= 0 || y+ch > h || x+cw > w {
+		return nil, fmt.Errorf("%w: crop (%d,%d,%d,%d) out of bounds for %v", ErrShape, y, x, ch, cw, img.shape)
+	}
+	out := New(c, ch, cw)
+	for cc := 0; cc < c; cc++ {
+		for yy := 0; yy < ch; yy++ {
+			srcOff := (cc*h+y+yy)*w + x
+			dstOff := (cc*ch + yy) * cw
+			copy(out.data[dstOff:dstOff+cw], img.data[srcOff:srcOff+cw])
+		}
+	}
+	return out, nil
+}
+
+// FlipH mirrors a (C, H, W) image horizontally, returning a new tensor.
+func FlipH(img *Tensor) (*Tensor, error) {
+	if img.Rank() != 3 {
+		return nil, fmt.Errorf("%w: fliph wants rank-3 image, got %v", ErrShape, img.shape)
+	}
+	c, h, w := img.shape[0], img.shape[1], img.shape[2]
+	out := New(c, h, w)
+	for cc := 0; cc < c; cc++ {
+		for y := 0; y < h; y++ {
+			off := (cc*h + y) * w
+			for x := 0; x < w; x++ {
+				out.data[off+x] = img.data[off+w-1-x]
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,112 @@
+package train
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/models"
+	"repro/internal/optim"
+)
+
+// smokeData builds a small SynthCIFAR task shared by the smoke tests.
+func smokeData(t *testing.T, classes int) (train, test data.Dataset) {
+	t.Helper()
+	tr, te, err := data.NewSynth(data.SynthConfig{
+		Classes: classes, Train: 400, Test: 200, Size: 16, Seed: 7, Noise: 0.2,
+	})
+	if err != nil {
+		t.Fatalf("NewSynth: %v", err)
+	}
+	return tr, te
+}
+
+func TestFP32TrainingLearns(t *testing.T) {
+	tr, te := smokeData(t, 4)
+	m, err := models.SmallCNN(models.Config{Classes: 4, InputSize: 16, Seed: 1})
+	if err != nil {
+		t.Fatalf("SmallCNN: %v", err)
+	}
+	hist, err := Run(Config{
+		Model: m, Train: tr, Test: te, BatchSize: 32, Epochs: 5,
+		Schedule: optim.ConstSchedule(0.05), Momentum: 0.9, WeightDecay: 1e-4,
+		Seed: 3,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if acc := hist.BestAcc(); acc < 0.6 {
+		t.Fatalf("fp32 smoke training reached only %.3f accuracy, want >= 0.6", acc)
+	}
+}
+
+func TestAPTWithQuantizedActivations(t *testing.T) {
+	tr, te := smokeData(t, 4)
+	m, err := models.SmallCNNQuantAct(models.Config{Classes: 4, InputSize: 16, Seed: 1}, 6)
+	if err != nil {
+		t.Fatalf("SmallCNNQuantAct: %v", err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Tmin = 2.0
+	cfg.Interval = 2
+	ctrl, err := core.NewController(cfg, m.Params())
+	if err != nil {
+		t.Fatalf("NewController: %v", err)
+	}
+	hist, err := Run(Config{
+		Model: m, Train: tr, Test: te, BatchSize: 32, Epochs: 4,
+		Schedule: optim.ConstSchedule(0.05), Momentum: 0.9, WeightDecay: 1e-4,
+		APT: ctrl, Seed: 3,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if acc := hist.BestAcc(); acc < 0.4 {
+		t.Fatalf("quant-act training reached only %.3f", acc)
+	}
+	// The activation clip parameters are under controller management:
+	// they appear in the traces.
+	foundAlpha := false
+	for _, name := range ctrl.TracedParams() {
+		if len(name) > 6 && name[len(name)-6:] == ".alpha" {
+			foundAlpha = true
+			if len(ctrl.BitsTrace(name)) == 0 {
+				t.Errorf("alpha %s has no bits trace", name)
+			}
+		}
+	}
+	if !foundAlpha {
+		t.Error("no activation clip parameter under APT management")
+	}
+}
+
+func TestAPTTrainingLearns(t *testing.T) {
+	tr, te := smokeData(t, 4)
+	m, err := models.SmallCNN(models.Config{Classes: 4, InputSize: 16, Seed: 1})
+	if err != nil {
+		t.Fatalf("SmallCNN: %v", err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Tmin = 2.0
+	ctrl, err := core.NewController(cfg, m.Params())
+	if err != nil {
+		t.Fatalf("NewController: %v", err)
+	}
+	hist, err := Run(Config{
+		Model: m, Train: tr, Test: te, BatchSize: 32, Epochs: 6,
+		Schedule: optim.ConstSchedule(0.05), Momentum: 0.9, WeightDecay: 1e-4,
+		APT: ctrl, Seed: 3,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if acc := hist.BestAcc(); acc < 0.55 {
+		t.Fatalf("APT smoke training reached only %.3f accuracy, want >= 0.55", acc)
+	}
+	if ne := hist.NormalizedEnergy(); ne <= 0 || ne >= 1 {
+		t.Fatalf("APT normalized energy %.3f, want in (0, 1)", ne)
+	}
+	if ns := hist.NormalizedSize(); ns <= 0 || ns >= 1 {
+		t.Fatalf("APT normalized size %.3f, want in (0, 1)", ns)
+	}
+}
