@@ -4,11 +4,13 @@ import (
 	"io"
 	"testing"
 
+	"repro/internal/benchkit"
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/energy"
 	"repro/internal/experiments"
 	"repro/internal/models"
+	"repro/internal/nn"
 	"repro/internal/optim"
 	"repro/internal/quant"
 	"repro/internal/tensor"
@@ -208,6 +210,87 @@ func BenchmarkMatMul64(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := tensor.MatMul(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMatMul measures the dense GEMM kernel at a mid-size square
+// shape; reported as GFLOP/s-relevant ns/op with allocation counts.
+func BenchmarkMatMul(b *testing.B) {
+	x, y := benchkit.MatMul256()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tensor.MatMul(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMatMulConvShaped measures the GEMM shape the batched conv path
+// produces for SmallCNN's first layer at batch 64: (16, 27)·(27, 65536).
+func BenchmarkMatMulConvShaped(b *testing.B) {
+	w, cols := benchkit.ConvShapedGEMM()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tensor.MatMul(w, cols); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchConv64 builds the shared SmallCNN-shaped batch-64 convolution
+// workload (see internal/benchkit), the steady-state training shape the
+// conv/GEMM hot path runs at.
+func benchConv64(b *testing.B) (*nn.Conv2D, *tensor.Tensor) {
+	b.Helper()
+	conv, x, err := benchkit.Conv64()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return conv, x
+}
+
+// BenchmarkConvForward64 measures one steady-state Conv2D forward at
+// batch 64. Allocation counts expose whether the scratch arenas are
+// actually reused (first iteration warms them up before the timer).
+func BenchmarkConvForward64(b *testing.B) {
+	conv, x := benchConv64(b)
+	if _, err := conv.Forward(x, true); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := conv.Forward(x, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConvBackward64 measures one steady-state Conv2D forward+backward
+// at batch 64 (backward requires the forward cache, so the pair is the
+// realistic training-step unit).
+func BenchmarkConvBackward64(b *testing.B) {
+	conv, x := benchConv64(b)
+	out, err := conv.Forward(x, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dout := tensor.New(out.Shape()...)
+	dout.Fill(0.01)
+	if _, err := conv.Backward(dout); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := conv.Forward(x, true); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := conv.Backward(dout); err != nil {
 			b.Fatal(err)
 		}
 	}

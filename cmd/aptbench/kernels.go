@@ -1,0 +1,173 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/benchkit"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Kernel micro-benchmarks: the numeric hot paths the training loop spends
+// its time in, run through testing.Benchmark and emitted as a
+// machine-readable JSON report so the perf trajectory is tracked from one
+// PR to the next (compare against the committed BENCH_tensor.json).
+
+// kernelBench is one benchmark row of the JSON report.
+type kernelBench struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// MFlops is the achieved arithmetic rate (2·MACs per op) where the
+	// benchmark has a defined FLOP count.
+	MFlops float64 `json:"mflops,omitempty"`
+}
+
+// seedBaseline is the same benchmark set measured at the seed commit's
+// per-sample im2col + naive-GEMM path (dc0a200, 1-core reference dev
+// machine, Xeon @ 2.10GHz). Kept in the report so any machine can read the
+// trajectory without digging through git history; refresh it only when the
+// reference machine changes.
+var seedBaseline = []kernelBench{
+	{Name: "MatMul256", NsPerOp: 7280736, AllocsPerOp: 5, BytesPerOp: 262320},
+	{Name: "MatMulConvShaped", NsPerOp: 14922485, AllocsPerOp: 5, BytesPerOp: 4194480},
+	{Name: "ConvForward64", NsPerOp: 17851665, AllocsPerOp: 779, BytesPerOp: 15751984},
+	{Name: "ConvForwardBackward64", NsPerOp: 57427886, AllocsPerOp: 1876, BytesPerOp: 24815184},
+}
+
+// kernelReport is the full JSON document.
+type kernelReport struct {
+	Generated    string        `json:"generated"`
+	GoVersion    string        `json:"go_version"`
+	GOOS         string        `json:"goos"`
+	GOARCH       string        `json:"goarch"`
+	GOMAXPROCS   int           `json:"gomaxprocs"`
+	Benchmarks   []kernelBench `json:"benchmarks"`
+	SeedBaseline []kernelBench `json:"seed_baseline"`
+}
+
+// runKernelBenches executes the micro-benchmarks, prints a table, and
+// writes the JSON report to jsonPath.
+func runKernelBenches(out io.Writer, jsonPath string) error {
+	rep := kernelReport{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+
+	record := func(name string, flopsPerOp float64, fn func(b *testing.B)) {
+		r := testing.Benchmark(fn)
+		row := kernelBench{
+			Name:        name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if flopsPerOp > 0 && row.NsPerOp > 0 {
+			row.MFlops = flopsPerOp / row.NsPerOp * 1e3
+		}
+		rep.Benchmarks = append(rep.Benchmarks, row)
+		fmt.Fprintf(out, "%-24s %12.0f ns/op %8d allocs/op %10.0f MFLOP/s\n",
+			name, row.NsPerOp, row.AllocsPerOp, row.MFlops)
+	}
+
+	record("MatMul256", benchkit.MatMul256Flops, func(b *testing.B) {
+		x, y := benchkit.MatMul256()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := tensor.MatMul(x, y); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	record("MatMulConvShaped", benchkit.ConvShapedGEMMFlops, func(b *testing.B) {
+		w, cols := benchkit.ConvShapedGEMM()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := tensor.MatMul(w, cols); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	newConv := func(b *testing.B) (*nn.Conv2D, *tensor.Tensor) {
+		conv, x, err := benchkit.Conv64()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return conv, x
+	}
+	const convFlops = benchkit.Conv64ForwardFlops
+
+	record("ConvForward64", convFlops, func(b *testing.B) {
+		conv, x := newConv(b)
+		if _, err := conv.Forward(x, true); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := conv.Forward(x, true); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	record("ConvForwardBackward64", 3*convFlops, func(b *testing.B) {
+		conv, x := newConv(b)
+		out, err := conv.Forward(x, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dout := tensor.New(out.Shape()...)
+		dout.Fill(0.01)
+		if _, err := conv.Backward(dout); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := conv.Forward(x, true); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := conv.Backward(dout); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	rep.SeedBaseline = seedBaseline
+	for _, base := range seedBaseline {
+		for _, cur := range rep.Benchmarks {
+			if cur.Name == base.Name && cur.NsPerOp > 0 {
+				fmt.Fprintf(out, "%-24s %.2fx vs seed, allocs %d -> %d\n",
+					cur.Name, base.NsPerOp/cur.NsPerOp, base.AllocsPerOp, cur.AllocsPerOp)
+			}
+		}
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return fmt.Errorf("marshal kernel report: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(jsonPath, data, 0o644); err != nil {
+		return fmt.Errorf("write kernel report: %w", err)
+	}
+	fmt.Fprintf(out, "wrote %s\n", jsonPath)
+	return nil
+}

@@ -5,9 +5,12 @@
 //
 //	aptbench -exp fig2 [-scale micro|ci|paper] [-v] [-csv out.csv]
 //	aptbench -all [-scale ci]
+//	aptbench -kernels [-benchout BENCH_tensor.json]
 //
 // Each experiment prints a text table mirroring the paper's artefact; -csv
-// additionally writes the rows as CSV.
+// additionally writes the rows as CSV. -kernels instead runs the tensor
+// engine micro-benchmarks (GEMM, batched conv forward/backward) and writes
+// a machine-readable JSON report for tracking the perf trajectory.
 package main
 
 import (
@@ -35,8 +38,13 @@ func run(args []string, out io.Writer) error {
 	scaleName := fs.String("scale", "ci", "scale profile: micro, ci or paper")
 	verbose := fs.Bool("v", false, "log per-epoch training progress")
 	csvPath := fs.String("csv", "", "also write results as CSV to this file (one block per experiment)")
+	kernels := fs.Bool("kernels", false, "run tensor-engine micro-benchmarks instead of experiments")
+	benchOut := fs.String("benchout", "BENCH_tensor.json", "JSON report path for -kernels")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *kernels {
+		return runKernelBenches(out, *benchOut)
 	}
 	scale, err := experiments.ScaleByName(*scaleName)
 	if err != nil {

@@ -1,0 +1,59 @@
+// Package benchkit defines the tensor-engine benchmark workloads shared
+// by the root package's micro-benchmarks (go test -bench) and
+// cmd/aptbench -kernels (the BENCH_tensor.json trajectory). Keeping the
+// shapes, seeds and warm-up in one place guarantees both harnesses
+// measure the same workload.
+package benchkit
+
+import (
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// MatMul256 returns the operands of the square mid-size GEMM benchmark.
+func MatMul256() (x, y *tensor.Tensor) {
+	rng := tensor.NewRNG(21)
+	x = tensor.New(256, 256)
+	y = tensor.New(256, 256)
+	x.FillNormal(rng, 0, 1)
+	y.FillNormal(rng, 0, 1)
+	return x, y
+}
+
+// MatMul256Flops is the FLOP count (2·MACs) of one MatMul256 op.
+const MatMul256Flops = 2 * 256 * 256 * 256
+
+// ConvShapedGEMM returns the GEMM shape the batched conv path produces
+// for SmallCNN's first layer at batch 64: (16, 27)·(27, 65536).
+func ConvShapedGEMM() (w, cols *tensor.Tensor) {
+	rng := tensor.NewRNG(22)
+	w = tensor.New(16, 27)
+	cols = tensor.New(27, 64*32*32)
+	w.FillNormal(rng, 0, 1)
+	cols.FillNormal(rng, 0, 1)
+	return w, cols
+}
+
+// ConvShapedGEMMFlops is the FLOP count of one ConvShapedGEMM op.
+const ConvShapedGEMMFlops = 2 * 16 * 27 * 64 * 32 * 32
+
+// Conv64 builds the SmallCNN-shaped first convolution (3→16 channels,
+// 3×3, stride 1, pad 1 on 32×32 inputs) and a batch-64 input — the
+// steady-state training shape of the conv/GEMM hot path.
+func Conv64() (*nn.Conv2D, *tensor.Tensor, error) {
+	rng := tensor.NewRNG(23)
+	conv, err := nn.NewConv2D(nn.Conv2DConfig{
+		Name: "bench",
+		In:   tensor.ConvGeom{InC: 3, InH: 32, InW: 32, KH: 3, KW: 3, Stride: 1, Pad: 1},
+		OutC: 16, Bias: true, RNG: rng,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	x := tensor.New(64, 3, 32, 32)
+	x.FillNormal(rng, 0, 1)
+	return conv, x, nil
+}
+
+// Conv64ForwardFlops is the FLOP count of one batch-64 conv forward.
+const Conv64ForwardFlops = 2 * 64 * 16 * 32 * 32 * 27

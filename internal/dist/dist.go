@@ -1,0 +1,246 @@
+// Package dist simulates data-parallel training through a parameter
+// server with compressed gradient links — the deployment setting TernGrad
+// (one of Table I's comparison methods) was designed for. Workers compute
+// gradients on disjoint mini-batch shards, push them through a GradCodec
+// (fp32, k-bit affine, or ternary), and the server averages the decoded
+// gradients, applies the SGD step, and broadcasts fp32 weights back.
+//
+// The simulation runs the workers sequentially against one shared model
+// replica (weights are identical across replicas between rounds, so the
+// computed gradients match a true multi-process run exactly); what it tracks
+// faithfully is the learning trajectory under lossy gradient codes and
+// the wire traffic each link spends.
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/data"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/optim"
+	"repro/internal/tensor"
+	"repro/internal/train"
+)
+
+// GradCodec compresses one worker→server gradient push. Encode replaces
+// g's contents with the values the server decodes (simulating the lossy
+// wire format) and returns the number of bytes the push costs.
+type GradCodec interface {
+	Name() string
+	Encode(g *tensor.Tensor) int64
+}
+
+// FP32Codec transmits gradients uncompressed.
+type FP32Codec struct{}
+
+// Name implements GradCodec.
+func (FP32Codec) Name() string { return "fp32" }
+
+// Encode implements GradCodec: identity, 4 bytes per element.
+func (FP32Codec) Encode(g *tensor.Tensor) int64 { return int64(g.Len()) * 4 }
+
+// KBitCodec quantizes each gradient tensor onto a k-bit affine grid over
+// its live range (DoReFa-style gradient quantization).
+type KBitCodec struct {
+	Bits int
+}
+
+// Name implements GradCodec.
+func (c KBitCodec) Name() string { return fmt.Sprintf("%d-bit", c.Bits) }
+
+// Encode implements GradCodec.
+func (c KBitCodec) Encode(g *tensor.Tensor) int64 {
+	lo, hi := g.MinMax()
+	span := float64(hi) - float64(lo)
+	levels := float64(int64(1)<<uint(c.Bits) - 1)
+	if span > 0 {
+		eps := span / levels
+		d := g.Data()
+		for i, v := range d {
+			q := math.Round((float64(v) - float64(lo)) / eps)
+			d[i] = lo + float32(q*eps)
+		}
+	}
+	// Payload: packed k-bit codes plus the fp32 range pair.
+	return (int64(g.Len())*int64(c.Bits)+7)/8 + 8
+}
+
+// TernaryCodec implements TernGrad's stochastic ternarization: each
+// element becomes sign(g)·s·b with s = max|g| and b ~ Bernoulli(|g|/s),
+// which is an unbiased estimator of g on a three-level code.
+type TernaryCodec struct {
+	rng *tensor.RNG
+}
+
+// NewTernaryCodec seeds the codec's Bernoulli sampling.
+func NewTernaryCodec(seed uint64) *TernaryCodec {
+	return &TernaryCodec{rng: tensor.NewRNG(seed)}
+}
+
+// Name implements GradCodec.
+func (*TernaryCodec) Name() string { return "ternary" }
+
+// Encode implements GradCodec.
+func (t *TernaryCodec) Encode(g *tensor.Tensor) int64 {
+	d := g.Data()
+	var s float64
+	for _, v := range d {
+		if a := math.Abs(float64(v)); a > s {
+			s = a
+		}
+	}
+	if s > 0 {
+		for i, v := range d {
+			p := math.Abs(float64(v)) / s
+			switch {
+			case t.rng.Float64() >= p:
+				d[i] = 0
+			case v > 0:
+				d[i] = float32(s)
+			default:
+				d[i] = -float32(s)
+			}
+		}
+	}
+	// Payload: 2 bits per element plus the fp32 scale.
+	return (int64(g.Len())*2+7)/8 + 4
+}
+
+// Config assembles one simulated data-parallel run.
+type Config struct {
+	Workers   int
+	Build     func() (*models.Model, error)
+	Train     data.Dataset
+	Test      data.Dataset
+	BatchSize int // per-worker shard size
+	Epochs    int
+	LR        float64
+	Momentum  float64
+	Codec     GradCodec
+	Seed      uint64
+}
+
+// Stats records the outcome of a run.
+type Stats struct {
+	// UpBytes is the total worker→server gradient traffic.
+	UpBytes int64
+	// DownBytes is the total server→worker fp32 weight broadcast traffic.
+	DownBytes int64
+	// Rounds is the number of parameter-server update rounds.
+	Rounds int
+	// Accs is the test accuracy after each epoch.
+	Accs []float64
+}
+
+// FinalAcc returns the last epoch's test accuracy (0 for an empty run).
+func (s *Stats) FinalAcc() float64 {
+	if len(s.Accs) == 0 {
+		return 0
+	}
+	return s.Accs[len(s.Accs)-1]
+}
+
+// Run executes the simulated parameter-server training loop.
+func Run(cfg Config) (*Stats, error) {
+	if cfg.Workers <= 0 || cfg.Build == nil || cfg.Train == nil || cfg.Test == nil {
+		return nil, fmt.Errorf("dist: workers, build and datasets are required")
+	}
+	if cfg.BatchSize <= 0 || cfg.Epochs <= 0 {
+		return nil, fmt.Errorf("dist: batch size %d and epochs %d must be positive", cfg.BatchSize, cfg.Epochs)
+	}
+	if cfg.Codec == nil {
+		cfg.Codec = FP32Codec{}
+	}
+	m, err := cfg.Build()
+	if err != nil {
+		return nil, fmt.Errorf("dist: build: %w", err)
+	}
+	params := m.Params()
+	rng := tensor.NewRNG(cfg.Seed ^ 0xD157)
+	loader, err := data.NewLoader(cfg.Train, cfg.BatchSize, rng.Split())
+	if err != nil {
+		return nil, fmt.Errorf("dist: %w", err)
+	}
+	opt := optim.NewSGD(cfg.LR, cfg.Momentum, 0)
+	loss := nn.SoftmaxCrossEntropy{}
+
+	// Per-parameter accumulator for the averaged worker gradients and a
+	// reusable staging tensor for the codec, allocated once.
+	sum := make([]*tensor.Tensor, len(params))
+	stage := make([]*tensor.Tensor, len(params))
+	for i, p := range params {
+		sum[i] = tensor.New(p.Value.Shape()...)
+		stage[i] = tensor.New(p.Value.Shape()...)
+	}
+	weightBytes := int64(0)
+	for _, p := range params {
+		weightBytes += int64(p.Value.Len()) * 4
+	}
+
+	st := &Stats{}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for {
+			// One round: up to cfg.Workers shards, one per worker. Weights
+			// are identical across replicas between rounds, so running the
+			// workers sequentially on the shared model computes the same
+			// gradients a real deployment would.
+			shards := 0
+			for i := range sum {
+				sum[i].Zero()
+			}
+			for w := 0; w < cfg.Workers; w++ {
+				batch, labels, ok := loader.Next()
+				if !ok {
+					break
+				}
+				logits, err := m.Net.Forward(batch, true)
+				if err != nil {
+					return nil, fmt.Errorf("dist: epoch %d forward: %w", epoch, err)
+				}
+				_, dlogits, err := loss.Forward(logits, labels)
+				if err != nil {
+					return nil, fmt.Errorf("dist: epoch %d loss: %w", epoch, err)
+				}
+				if _, err := m.Net.Backward(dlogits); err != nil {
+					return nil, fmt.Errorf("dist: epoch %d backward: %w", epoch, err)
+				}
+				for i, p := range params {
+					if err := stage[i].CopyFrom(p.Grad); err != nil {
+						return nil, fmt.Errorf("dist: %s: %w", p.Name, err)
+					}
+					p.ZeroGrad()
+					st.UpBytes += cfg.Codec.Encode(stage[i])
+					if err := sum[i].Add(stage[i]); err != nil {
+						return nil, fmt.Errorf("dist: %s: %w", p.Name, err)
+					}
+				}
+				shards++
+			}
+			if shards == 0 {
+				break // epoch exhausted
+			}
+			// Server: average the decoded gradients and take the SGD step.
+			inv := 1 / float32(shards)
+			for i, p := range params {
+				sum[i].Scale(inv)
+				if err := p.Grad.CopyFrom(sum[i]); err != nil {
+					return nil, fmt.Errorf("dist: %s: %w", p.Name, err)
+				}
+			}
+			if err := opt.Step(params); err != nil {
+				return nil, fmt.Errorf("dist: step: %w", err)
+			}
+			// Broadcast: every worker pulls the fresh fp32 weights.
+			st.DownBytes += weightBytes * int64(shards)
+			st.Rounds++
+		}
+		acc, err := train.Evaluate(m, cfg.Test, cfg.BatchSize)
+		if err != nil {
+			return nil, fmt.Errorf("dist: epoch %d eval: %w", epoch, err)
+		}
+		st.Accs = append(st.Accs, acc)
+	}
+	return st, nil
+}

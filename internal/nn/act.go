@@ -12,6 +12,10 @@ type ReLU struct {
 	name string
 	cap  float32 // 0 = unbounded
 	mask []bool
+
+	outA  arenaTensor
+	dxA   arenaTensor
+	maskA []bool
 }
 
 // NewReLU returns an unbounded rectifier.
@@ -28,16 +32,20 @@ func (r *ReLU) Params() []*Param { return nil }
 
 // Forward implements Layer.
 func (r *ReLU) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
-	out := x.Clone()
+	out := r.outA.get(x.Shape()...)
 	d := out.Data()
-	r.mask = make([]bool, len(d))
-	for i, v := range d {
+	xd := x.Data()
+	r.mask = growBool(&r.maskA, len(xd))
+	for i, v := range xd {
 		switch {
 		case v <= 0:
 			d[i] = 0
+			r.mask[i] = false
 		case r.cap > 0 && v >= r.cap:
 			d[i] = r.cap
+			r.mask[i] = false
 		default:
+			d[i] = v
 			r.mask[i] = true // pass-through region
 		}
 	}
@@ -52,10 +60,13 @@ func (r *ReLU) Backward(dout *tensor.Tensor) (*tensor.Tensor, error) {
 	if dout.Len() != len(r.mask) {
 		return nil, fmt.Errorf("relu %q: %w: dout %v vs cached %d elems", r.name, tensor.ErrShape, dout.Shape(), len(r.mask))
 	}
-	dx := dout.Clone()
+	dx := r.dxA.get(dout.Shape()...)
 	d := dx.Data()
-	for i := range d {
-		if !r.mask[i] {
+	dd := dout.Data()
+	for i, v := range dd {
+		if r.mask[i] {
+			d[i] = v
+		} else {
 			d[i] = 0
 		}
 	}

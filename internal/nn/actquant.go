@@ -24,6 +24,10 @@ type ActQuant struct {
 	name  string
 	alpha *Param // scalar clipping point
 	mask  []uint8
+
+	outA  arenaTensor
+	dxA   arenaTensor
+	maskA []uint8
 }
 
 // ActQuant backward mask states.
@@ -68,9 +72,10 @@ func (a *ActQuant) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error)
 	}
 	k := a.Bits()
 	eps := quant.Epsilon(0, alpha, k)
-	out := x.Clone()
+	out := a.outA.get(x.Shape()...)
 	d := out.Data()
-	a.mask = make([]uint8, len(d))
+	copy(d, x.Data())
+	a.mask = growU8(&a.maskA, len(d))
 	for i, v := range d {
 		switch {
 		case v <= 0:
@@ -97,8 +102,9 @@ func (a *ActQuant) Backward(dout *tensor.Tensor) (*tensor.Tensor, error) {
 	if dout.Len() != len(a.mask) {
 		return nil, fmt.Errorf("actquant %q: %w: dout %v vs cached %d", a.name, tensor.ErrShape, dout.Shape(), len(a.mask))
 	}
-	dx := dout.Clone()
+	dx := a.dxA.get(dout.Shape()...)
 	d := dx.Data()
+	copy(d, dout.Data())
 	var dAlpha float32
 	for i, m := range a.mask {
 		switch m {

@@ -27,6 +27,12 @@ type BatchNorm2D struct {
 	xhat    *tensor.Tensor
 	std     []float64
 	inShape []int
+	ready   bool
+
+	outA  arenaTensor // (N, C, H, W) forward output
+	xhatA arenaTensor // (N, C, H, W) normalized activations
+	dxA   arenaTensor // (N, C, H, W) input gradient
+	stdA  []float64   // per-channel std scratch
 }
 
 // NewBatchNorm2D constructs a batch-norm layer for the given channel count.
@@ -66,14 +72,15 @@ func (b *BatchNorm2D) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, err
 	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
 	plane := h * w
 	cnt := float64(n * plane)
-	out := tensor.New(x.Shape()...)
+	out := b.outA.get(x.Shape()...)
 	xd, od := x.Data(), out.Data()
 	gd, bd := b.gamma.Value.Data(), b.beta.Value.Data()
 
 	if train {
-		b.xhat = tensor.New(x.Shape()...)
-		b.std = make([]float64, b.channels)
+		b.xhat = b.xhatA.get(x.Shape()...)
+		b.std = growF64(&b.stdA, b.channels)
 		b.inShape = x.Shape()
+		b.ready = true
 		xh := b.xhat.Data()
 		tensor.ParallelFor(b.channels, func(c int) {
 			var mean float64
@@ -126,7 +133,7 @@ func (b *BatchNorm2D) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, err
 
 // Backward implements Layer using the standard batch-norm gradient.
 func (b *BatchNorm2D) Backward(dout *tensor.Tensor) (*tensor.Tensor, error) {
-	if b.xhat == nil {
+	if !b.ready {
 		return nil, fmt.Errorf("batchnorm %q: backward before forward", b.name)
 	}
 	if dout.Rank() != 4 || dout.Dim(1) != b.channels {
@@ -135,7 +142,7 @@ func (b *BatchNorm2D) Backward(dout *tensor.Tensor) (*tensor.Tensor, error) {
 	n, h, w := dout.Dim(0), dout.Dim(2), dout.Dim(3)
 	plane := h * w
 	cnt := float64(n * plane)
-	dx := tensor.New(b.inShape...)
+	dx := b.dxA.get(b.inShape...)
 	dd, xh, dxd := dout.Data(), b.xhat.Data(), dx.Data()
 	gd := b.gamma.Value.Data()
 	gg, gb := b.gamma.Grad.Data(), b.beta.Grad.Data()
@@ -163,7 +170,7 @@ func (b *BatchNorm2D) Backward(dout *tensor.Tensor) (*tensor.Tensor, error) {
 			}
 		}
 	})
-	b.xhat = nil
+	b.ready = false
 	return dx, nil
 }
 

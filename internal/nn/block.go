@@ -65,6 +65,11 @@ type Residual struct {
 	shortcut Layer // nil = identity
 	withReLU bool
 	mask     []bool
+
+	outA  arenaTensor
+	doutA arenaTensor
+	dxA   arenaTensor
+	maskA []bool
 }
 
 // NewResidual builds a residual block with an output ReLU.
@@ -126,17 +131,21 @@ func (r *Residual) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error)
 			return nil, fmt.Errorf("%s: %w", r.name, err)
 		}
 	}
-	out := my.Clone()
+	out := r.outA.get(my.Shape()...)
+	if err := out.CopyFrom(my); err != nil {
+		return nil, fmt.Errorf("%s: %w", r.name, err)
+	}
 	if err := out.Add(sy); err != nil {
 		return nil, fmt.Errorf("%s: %w", r.name, err)
 	}
 	if r.withReLU {
 		d := out.Data()
-		r.mask = make([]bool, len(d))
+		r.mask = growBool(&r.maskA, len(d))
 		for i, v := range d {
 			if v > 0 {
 				r.mask[i] = true
 			} else {
+				r.mask[i] = false
 				d[i] = 0
 			}
 		}
@@ -154,10 +163,13 @@ func (r *Residual) Backward(dout *tensor.Tensor) (*tensor.Tensor, error) {
 		if dout.Len() != len(r.mask) {
 			return nil, fmt.Errorf("%s: %w: dout %v", r.name, tensor.ErrShape, dout.Shape())
 		}
-		d = dout.Clone()
+		d = r.doutA.get(dout.Shape()...)
 		dd := d.Data()
-		for i := range dd {
-			if !r.mask[i] {
+		src := dout.Data()
+		for i, v := range src {
+			if r.mask[i] {
+				dd[i] = v
+			} else {
 				dd[i] = 0
 			}
 		}
@@ -174,7 +186,10 @@ func (r *Residual) Backward(dout *tensor.Tensor) (*tensor.Tensor, error) {
 			return nil, fmt.Errorf("%s: %w", r.name, err)
 		}
 	}
-	dx := dmain.Clone()
+	dx := r.dxA.get(dmain.Shape()...)
+	if err := dx.CopyFrom(dmain); err != nil {
+		return nil, fmt.Errorf("%s: %w", r.name, err)
+	}
 	if err := dx.Add(dshort); err != nil {
 		return nil, fmt.Errorf("%s: %w", r.name, err)
 	}

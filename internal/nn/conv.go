@@ -6,19 +6,32 @@ import (
 	"repro/internal/tensor"
 )
 
-// Conv2D is a standard 2-D convolution over NCHW batches, computed as
-// im2col + GEMM per sample with the batch parallelized across workers. The
-// input spatial size is fixed at construction (CIFAR-style pipelines have
-// static geometry), which lets the layer report exact MAC counts to the
-// energy model.
+// Conv2D is a standard 2-D convolution over NCHW batches. The whole batch
+// is packed with Im2ColBatch into one (C·KH·KW, N·OH·OW) column matrix so
+// the forward pass is a single large GEMM against the (outC, C·KH·KW)
+// weight view, and the backward pass is two GEMMs plus one batch col2im
+// scatter. All large intermediates (columns, GEMM outputs, gradients) live
+// in scratch arenas allocated at the first forward and reused every step,
+// so steady-state training allocates nothing on this path. The input
+// spatial size is fixed at construction (CIFAR-style pipelines have static
+// geometry), which lets the layer report exact MAC counts to the energy
+// model.
 type Conv2D struct {
 	name    string
 	geom    tensor.ConvGeom
 	outC    int
-	weight  *Param // (outC, inC, KH, KW) viewed as (outC, inC*KH*KW)
-	bias    *Param // (outC), nil when disabled
-	cols    []*tensor.Tensor
+	weight  *Param         // (outC, inC, KH, KW) viewed as (outC, inC*KH*KW)
+	w2d     *tensor.Tensor // cached (outC, kdim) view of weight.Value
+	bias    *Param         // (outC), nil when disabled
 	inShape []int
+	ready   bool // forward ran since the last backward
+
+	cols  arenaTensor // (kdim, N·OH·OW) im2col output, kept for backward
+	gemm  arenaTensor // (outC, N·OH·OW) forward GEMM out / backward dout2d
+	dcols arenaTensor // (kdim, N·OH·OW) column gradients
+	dw    arenaTensor // (outC, kdim) weight-gradient scratch
+	out   arenaTensor // (N, outC, OH, OW)
+	dx    arenaTensor // (N, inC, InH, InW)
 }
 
 // Conv2DConfig configures NewConv2D.
@@ -46,6 +59,7 @@ func NewConv2D(cfg Conv2DConfig) (*Conv2D, error) {
 		geom:   g,
 		outC:   cfg.OutC,
 		weight: NewParam(cfg.Name+".weight", w),
+		w2d:    w.MustReshape(cfg.OutC, g.InC*g.KH*g.KW),
 	}
 	if cfg.Bias {
 		c.bias = NewParam(cfg.Name+".bias", tensor.New(cfg.OutC))
@@ -74,7 +88,8 @@ func (c *Conv2D) MACs() int64 {
 // Geom exposes the convolution geometry (used by model builders).
 func (c *Conv2D) Geom() tensor.ConvGeom { return c.geom }
 
-// Forward implements Layer.
+// Forward implements Layer. The returned tensor is owned by the layer and
+// is overwritten by the next Forward call (see the arena contract).
 func (c *Conv2D) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
 	if x.Rank() != 4 || x.Dim(1) != c.geom.InC || x.Dim(2) != c.geom.InH || x.Dim(3) != c.geom.InW {
 		return nil, fmt.Errorf("conv2d %q: %w: input %v, want (N,%d,%d,%d)",
@@ -82,123 +97,103 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
 	}
 	n := x.Dim(0)
 	oh, ow := c.geom.OutHW()
-	out := tensor.New(n, c.outC, oh, ow)
+	s := oh * ow
 	kdim := c.geom.InC * c.geom.KH * c.geom.KW
-	w2d := c.weight.Value.MustReshape(c.outC, kdim)
-	c.cols = make([]*tensor.Tensor, n)
-	c.inShape = x.Shape()
+	w2d := c.w2d
+	c.inShape = append(c.inShape[:0], n, c.geom.InC, c.geom.InH, c.geom.InW)
 
-	inSz := c.geom.InC * c.geom.InH * c.geom.InW
-	outSz := c.outC * oh * ow
-	var ferr error
-	tensor.ParallelFor(n, func(i int) {
-		img, err := tensor.FromSlice(x.Data()[i*inSz:(i+1)*inSz], c.geom.InC, c.geom.InH, c.geom.InW)
-		if err != nil {
-			ferr = err
-			return
-		}
-		cols, err := tensor.Im2Col(img, c.geom)
-		if err != nil {
-			ferr = err
-			return
-		}
-		c.cols[i] = cols
-		prod, err := tensor.MatMul(w2d, cols) // (outC, oh*ow)
-		if err != nil {
-			ferr = err
-			return
-		}
-		copy(out.Data()[i*outSz:(i+1)*outSz], prod.Data())
-	})
-	if ferr != nil {
-		return nil, fmt.Errorf("conv2d %q: %w", c.name, ferr)
+	cols := c.cols.get(kdim, n*s)
+	if err := tensor.Im2ColBatchInto(cols, x, c.geom); err != nil {
+		return nil, fmt.Errorf("conv2d %q: %w", c.name, err)
 	}
+	prod := c.gemm.get(c.outC, n*s)
+	if err := tensor.MatMulInto(prod, w2d, cols); err != nil {
+		return nil, fmt.Errorf("conv2d %q: %w", c.name, err)
+	}
+
+	// Reorder (outC, N·S) into NCHW and fold in the bias: out sample-major,
+	// prod channel-major, so each (i, oc) plane is one contiguous block.
+	out := c.out.get(n, c.outC, oh, ow)
+	od, pd := out.Data(), prod.Data()
+	var bd []float32
 	if c.bias != nil {
-		bd := c.bias.Value.Data()
-		od := out.Data()
-		plane := oh * ow
-		for i := 0; i < n; i++ {
-			for oc := 0; oc < c.outC; oc++ {
-				b := bd[oc]
-				row := od[(i*c.outC+oc)*plane : (i*c.outC+oc+1)*plane]
-				for j := range row {
-					row[j] += b
-				}
+		bd = c.bias.Value.Data()
+	}
+	tensor.ParallelFor(n, func(i int) {
+		for oc := 0; oc < c.outC; oc++ {
+			src := pd[oc*n*s+i*s : oc*n*s+(i+1)*s]
+			dst := od[(i*c.outC+oc)*s : (i*c.outC+oc+1)*s]
+			if bd == nil {
+				copy(dst, src)
+				continue
+			}
+			b := bd[oc]
+			for j, v := range src {
+				dst[j] = v + b
 			}
 		}
-	}
+	})
+	c.ready = true
 	return out, nil
 }
 
 // Backward implements Layer.
 func (c *Conv2D) Backward(dout *tensor.Tensor) (*tensor.Tensor, error) {
-	if c.cols == nil {
+	if !c.ready {
 		return nil, fmt.Errorf("conv2d %q: backward before forward", c.name)
 	}
-	n := dout.Dim(0)
+	n := c.inShape[0]
 	oh, ow := c.geom.OutHW()
-	if dout.Rank() != 4 || dout.Dim(1) != c.outC || dout.Dim(2) != oh || dout.Dim(3) != ow || n != len(c.cols) {
+	s := oh * ow
+	if dout.Rank() != 4 || dout.Dim(0) != n || dout.Dim(1) != c.outC || dout.Dim(2) != oh || dout.Dim(3) != ow {
 		return nil, fmt.Errorf("conv2d %q: %w: dout %v, want (%d,%d,%d,%d)",
-			c.name, tensor.ErrShape, dout.Shape(), len(c.cols), c.outC, oh, ow)
+			c.name, tensor.ErrShape, dout.Shape(), n, c.outC, oh, ow)
 	}
 	kdim := c.geom.InC * c.geom.KH * c.geom.KW
-	w2d := c.weight.Value.MustReshape(c.outC, kdim)
-	dx := tensor.New(c.inShape...)
-	inSz := c.geom.InC * c.geom.InH * c.geom.InW
-	outSz := c.outC * oh * ow
+	w2d := c.w2d
 
-	dws := make([]*tensor.Tensor, n)
-	var ferr error
-	tensor.ParallelFor(n, func(i int) {
-		d2d, err := tensor.FromSlice(dout.Data()[i*outSz:(i+1)*outSz], c.outC, oh*ow)
-		if err != nil {
-			ferr = err
-			return
+	// Reorder dout (N, outC, S) into the channel-major (outC, N·S) layout
+	// the GEMMs want, reusing the forward GEMM arena, and reduce the bias
+	// gradient along the way.
+	d2d := c.gemm.get(c.outC, n*s)
+	dd, d2 := dout.Data(), d2d.Data()
+	tensor.ParallelFor(c.outC, func(oc int) {
+		for i := 0; i < n; i++ {
+			copy(d2[oc*n*s+i*s:oc*n*s+(i+1)*s], dd[(i*c.outC+oc)*s:(i*c.outC+oc+1)*s])
 		}
-		// dW contribution: dout2d · colsᵀ → (outC, kdim)
-		dw, err := tensor.MatMulTransB(d2d, c.cols[i])
-		if err != nil {
-			ferr = err
-			return
-		}
-		dws[i] = dw
-		// dcols: Wᵀ · dout2d → (kdim, oh*ow)
-		dcols, err := tensor.MatMulTransA(w2d, d2d)
-		if err != nil {
-			ferr = err
-			return
-		}
-		dimg, err := tensor.Col2Im(dcols, c.geom)
-		if err != nil {
-			ferr = err
-			return
-		}
-		copy(dx.Data()[i*inSz:(i+1)*inSz], dimg.Data())
 	})
-	if ferr != nil {
-		return nil, fmt.Errorf("conv2d %q: %w", c.name, ferr)
-	}
-	gw := c.weight.Grad.Data()
-	for _, dw := range dws {
-		for j, v := range dw.Data() {
-			gw[j] += v
-		}
-	}
 	if c.bias != nil {
 		gb := c.bias.Grad.Data()
-		plane := oh * ow
-		dd := dout.Data()
-		for i := 0; i < n; i++ {
-			for oc := 0; oc < c.outC; oc++ {
-				row := dd[(i*c.outC+oc)*plane : (i*c.outC+oc+1)*plane]
-				var s float32
-				for _, v := range row {
-					s += v
-				}
-				gb[oc] += s
+		for oc := 0; oc < c.outC; oc++ {
+			row := d2[oc*n*s : (oc+1)*n*s]
+			var sum float32
+			for _, v := range row {
+				sum += v
 			}
+			gb[oc] += sum
 		}
 	}
-	c.cols = nil // release cache
+
+	// dW = dout2d · colsᵀ → (outC, kdim), accumulated into the grad.
+	cols := c.cols.get(kdim, n*s)
+	dw := c.dw.get(c.outC, kdim)
+	if err := tensor.MatMulTransBInto(dw, d2d, cols); err != nil {
+		return nil, fmt.Errorf("conv2d %q: %w", c.name, err)
+	}
+	gw := c.weight.Grad.Data()
+	for j, v := range dw.Data() {
+		gw[j] += v
+	}
+
+	// dcols = Wᵀ · dout2d → (kdim, N·S), scattered back to image space.
+	dcols := c.dcols.get(kdim, n*s)
+	if err := tensor.MatMulTransAInto(dcols, w2d, d2d); err != nil {
+		return nil, fmt.Errorf("conv2d %q: %w", c.name, err)
+	}
+	dx := c.dx.get(c.inShape...)
+	if err := tensor.Col2ImBatchInto(dx, dcols, c.geom); err != nil {
+		return nil, fmt.Errorf("conv2d %q: %w", c.name, err)
+	}
+	c.ready = false
 	return dx, nil
 }

@@ -15,6 +15,10 @@ type DepthwiseConv2D struct {
 	weight  *Param          // (C, KH, KW)
 	x       *tensor.Tensor
 	inShape []int
+
+	outA arenaTensor // (N, C, OH, OW)
+	dxA  arenaTensor // (N, C, InH, InW)
+	dws  []float32   // per-(sample, channel) weight-grad slots
 }
 
 // NewDepthwiseConv2D constructs a depthwise convolution.
@@ -47,7 +51,7 @@ func (d *DepthwiseConv2D) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor,
 	}
 	n := x.Dim(0)
 	oh, ow := g.OutHW()
-	out := tensor.New(n, g.InC, oh, ow)
+	out := d.outA.get(n, g.InC, oh, ow)
 	d.x = x
 	d.inShape = x.Shape()
 	xd, od, wd := x.Data(), out.Data(), d.weight.Value.Data()
@@ -90,19 +94,24 @@ func (d *DepthwiseConv2D) Backward(dout *tensor.Tensor) (*tensor.Tensor, error) 
 	if dout.Rank() != 4 || dout.Dim(0) != n || dout.Dim(1) != g.InC || dout.Dim(2) != oh || dout.Dim(3) != ow {
 		return nil, fmt.Errorf("dwconv %q: %w: dout %v", d.name, tensor.ErrShape, dout.Shape())
 	}
-	dx := tensor.New(d.inShape...)
+	dx := d.dxA.get(d.inShape...)
+	dx.Zero()
 	xd, dd, dxd := d.x.Data(), dout.Data(), dx.Data()
 	wd := d.weight.Value.Data()
-	// Per-(sample, channel) weight-grad contributions, reduced serially to
-	// keep the parallel section race-free.
-	dws := make([][]float32, n*g.InC)
+	// Per-(sample, channel) weight-grad slots in one flat scratch buffer,
+	// reduced serially afterwards to keep the parallel section race-free.
+	kk := g.KH * g.KW
+	dws := growF32(&d.dws, n*g.InC*kk)
 	tensor.ParallelFor(n*g.InC, func(nc int) {
 		c := nc % g.InC
 		src := xd[nc*g.InH*g.InW : (nc+1)*g.InH*g.InW]
 		dsrc := dd[nc*oh*ow : (nc+1)*oh*ow]
 		ddst := dxd[nc*g.InH*g.InW : (nc+1)*g.InH*g.InW]
 		ker := wd[c*g.KH*g.KW : (c+1)*g.KH*g.KW]
-		dw := make([]float32, g.KH*g.KW)
+		dw := dws[nc*kk : (nc+1)*kk]
+		for j := range dw {
+			dw[j] = 0
+		}
 		for oy := 0; oy < oh; oy++ {
 			for ox := 0; ox < ow; ox++ {
 				gv := dsrc[oy*ow+ox]
@@ -125,12 +134,12 @@ func (d *DepthwiseConv2D) Backward(dout *tensor.Tensor) (*tensor.Tensor, error) 
 				}
 			}
 		}
-		dws[nc] = dw
 	})
 	gw := d.weight.Grad.Data()
-	for nc, dw := range dws {
+	for nc := 0; nc < n*g.InC; nc++ {
 		c := nc % g.InC
-		off := c * g.KH * g.KW
+		off := c * kk
+		dw := dws[nc*kk : (nc+1)*kk]
 		for j, v := range dw {
 			gw[off+j] += v
 		}

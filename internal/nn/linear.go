@@ -7,6 +7,8 @@ import (
 )
 
 // Linear is a fully-connected layer y = x·Wᵀ + b over (N, in) batches.
+// Output, input-gradient and weight-gradient buffers are scratch arenas
+// reused across steps (see the arena contract in arena.go).
 type Linear struct {
 	name   string
 	in     int
@@ -14,6 +16,10 @@ type Linear struct {
 	weight *Param // (out, in)
 	bias   *Param // (out), nil when disabled
 	x      *tensor.Tensor
+
+	outA arenaTensor // (N, out)
+	dxA  arenaTensor // (N, in)
+	dwA  arenaTensor // (out, in)
 }
 
 // NewLinear constructs a fully-connected layer with He-normal weights.
@@ -50,12 +56,12 @@ func (l *Linear) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
 		return nil, fmt.Errorf("linear %q: %w: input %v, want (N,%d)", l.name, tensor.ErrShape, x.Shape(), l.in)
 	}
 	l.x = x
-	out, err := tensor.MatMulTransB(x, l.weight.Value) // (N,in)·(out,in)ᵀ
-	if err != nil {
+	n := x.Dim(0)
+	out := l.outA.get(n, l.out)
+	if err := tensor.MatMulTransBInto(out, x, l.weight.Value); err != nil { // (N,in)·(out,in)ᵀ
 		return nil, fmt.Errorf("linear %q: %w", l.name, err)
 	}
 	if l.bias != nil {
-		n := x.Dim(0)
 		bd := l.bias.Value.Data()
 		od := out.Data()
 		for i := 0; i < n; i++ {
@@ -77,8 +83,8 @@ func (l *Linear) Backward(dout *tensor.Tensor) (*tensor.Tensor, error) {
 		return nil, fmt.Errorf("linear %q: %w: dout %v", l.name, tensor.ErrShape, dout.Shape())
 	}
 	// dW = doutᵀ · x → (out, in)
-	dw, err := tensor.MatMulTransA(dout, l.x)
-	if err != nil {
+	dw := l.dwA.get(l.out, l.in)
+	if err := tensor.MatMulTransAInto(dw, dout, l.x); err != nil {
 		return nil, fmt.Errorf("linear %q: %w", l.name, err)
 	}
 	if err := l.weight.Grad.Add(dw); err != nil {
@@ -96,8 +102,8 @@ func (l *Linear) Backward(dout *tensor.Tensor) (*tensor.Tensor, error) {
 		}
 	}
 	// dx = dout · W → (N, in)
-	dx, err := tensor.MatMul(dout, l.weight.Value)
-	if err != nil {
+	dx := l.dxA.get(dout.Dim(0), l.in)
+	if err := tensor.MatMulInto(dx, dout, l.weight.Value); err != nil {
 		return nil, fmt.Errorf("linear %q: %w", l.name, err)
 	}
 	l.x = nil

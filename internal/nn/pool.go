@@ -11,6 +11,9 @@ import (
 type GlobalAvgPool struct {
 	name    string
 	inShape []int
+
+	outA arenaTensor
+	dxA  arenaTensor
 }
 
 // NewGlobalAvgPool constructs the layer.
@@ -29,7 +32,7 @@ func (p *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, e
 	}
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	p.inShape = x.Shape()
-	out := tensor.New(n, c)
+	out := p.outA.get(n, c)
 	plane := h * w
 	xd, od := x.Data(), out.Data()
 	inv := 1 / float32(plane)
@@ -55,7 +58,7 @@ func (p *GlobalAvgPool) Backward(dout *tensor.Tensor) (*tensor.Tensor, error) {
 	if dout.Rank() != 2 || dout.Dim(0) != n || dout.Dim(1) != c {
 		return nil, fmt.Errorf("gap %q: %w: dout %v, want (%d,%d)", p.name, tensor.ErrShape, dout.Shape(), n, c)
 	}
-	dx := tensor.New(p.inShape...)
+	dx := p.dxA.get(p.inShape...)
 	plane := h * w
 	dd, dxd := dout.Data(), dx.Data()
 	inv := 1 / float32(plane)
@@ -79,6 +82,11 @@ type MaxPool2D struct {
 	k       int
 	argmax  []int
 	inShape []int
+	ready   bool
+
+	outA    arenaTensor
+	dxA     arenaTensor
+	argmaxA []int
 }
 
 // NewMaxPool2D constructs a k×k non-overlapping max pool.
@@ -105,9 +113,10 @@ func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error
 		return nil, fmt.Errorf("maxpool %q: %w: input %dx%d not divisible by window %d", p.name, tensor.ErrShape, h, w, p.k)
 	}
 	oh, ow := h/p.k, w/p.k
-	out := tensor.New(n, c, oh, ow)
+	out := p.outA.get(n, c, oh, ow)
 	p.inShape = x.Shape()
-	p.argmax = make([]int, out.Len())
+	p.argmax = growInt(&p.argmaxA, out.Len())
+	p.ready = true
 	xd, od := x.Data(), out.Data()
 	for i := 0; i < n; i++ {
 		for cc := 0; cc < c; cc++ {
@@ -137,19 +146,19 @@ func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error
 
 // Backward implements Layer.
 func (p *MaxPool2D) Backward(dout *tensor.Tensor) (*tensor.Tensor, error) {
-	if p.argmax == nil {
+	if !p.ready {
 		return nil, fmt.Errorf("maxpool %q: backward before forward", p.name)
 	}
 	if dout.Len() != len(p.argmax) {
 		return nil, fmt.Errorf("maxpool %q: %w: dout %v", p.name, tensor.ErrShape, dout.Shape())
 	}
-	dx := tensor.New(p.inShape...)
+	dx := p.dxA.get(p.inShape...)
+	dx.Zero()
 	dxd := dx.Data()
 	for i, g := range dout.Data() {
 		dxd[p.argmax[i]] += g
 	}
-	p.argmax = nil
-	p.inShape = nil
+	p.ready = false
 	return dx, nil
 }
 

@@ -29,6 +29,9 @@ type SGD struct {
 	momentum    float64
 	weightDecay float64
 	velocity    map[*nn.Param]*tensor.Tensor
+	// scratch holds the composed step for the quantized update path; cached
+	// per parameter so steady-state steps allocate nothing.
+	scratch map[*nn.Param]*tensor.Tensor
 }
 
 // NewSGD constructs the optimizer.
@@ -38,6 +41,7 @@ func NewSGD(lr, momentum, weightDecay float64) *SGD {
 		momentum:    momentum,
 		weightDecay: weightDecay,
 		velocity:    make(map[*nn.Param]*tensor.Tensor),
+		scratch:     make(map[*nn.Param]*tensor.Tensor),
 	}
 }
 
@@ -98,7 +102,11 @@ func (s *SGD) Step(params []*nn.Param) error {
 
 		default:
 			// APT path: compose the step, then apply Eq. 3 on the grid.
-			step := tensor.New(p.Value.Shape()...)
+			step := s.scratch[p]
+			if step == nil {
+				step = tensor.New(p.Value.Shape()...)
+				s.scratch[p] = step
+			}
 			sd := step.Data()
 			for i := range vd {
 				vd[i] = mom*vd[i] + gd[i] + wdcy*wd[i]

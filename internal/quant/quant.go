@@ -72,7 +72,10 @@ func Epsilon(min, max float32, k int) float32 {
 	if span <= 0 {
 		return 0
 	}
-	levels := math.Pow(2, float64(k)) - 1
+	// k < MaxBits here, so the shift fits in int64; the integer expression
+	// replaces a math.Pow call that ran on every grid refresh of every
+	// layer.
+	levels := float64(int64(1)<<uint(k) - 1)
 	return float32(span / levels)
 }
 
@@ -103,7 +106,7 @@ func (s *State) SnapInPlace(t *tensor.Tensor) {
 		return
 	}
 	min, eps := s.Min, s.Eps
-	levels := math.Pow(2, float64(s.Bits)) - 1
+	levels := float64(int64(1)<<uint(s.Bits) - 1)
 	d := t.Data()
 	for i, v := range d {
 		q := math.Round(float64(v-min) / float64(eps))

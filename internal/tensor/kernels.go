@@ -1,0 +1,59 @@
+package tensor
+
+// Low-level fused kernels behind the GEMM routines. Every kernel has a
+// portable Go implementation here; on amd64 with AVX2+FMA the dispatch
+// variables are repointed at assembly versions during init (see
+// kernels_amd64.go). Dispatch is per-row-block, so the indirection cost is
+// negligible next to the O(n) work of each call.
+//
+// All kernels are deterministic: for a given input they produce the same
+// bits regardless of the worker count driving them, which is what keeps
+// ParallelFor-partitioned GEMMs bit-identical to their serial runs.
+
+// axpy4 computes dst[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j].
+// The b slices must be at least len(dst) long.
+var axpy4 = axpy4Go
+
+// axpy1 computes dst[j] += a * b[j]. b must be at least len(dst) long.
+var axpy1 = axpy1Go
+
+// dot returns the inner product of a and b (len(a) elements; b must be at
+// least as long).
+var dot = dotGo
+
+func axpy4Go(dst, b0, b1, b2, b3 []float32, a0, a1, a2, a3 float32) {
+	n := len(dst)
+	b0 = b0[:n]
+	b1 = b1[:n]
+	b2 = b2[:n]
+	b3 = b3[:n]
+	for j := range dst {
+		dst[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
+	}
+}
+
+func axpy1Go(dst, b []float32, a float32) {
+	b = b[:len(dst)]
+	for j := range dst {
+		dst[j] += a * b[j]
+	}
+}
+
+func dotGo(a, b []float32) float32 {
+	b = b[:len(a)]
+	// Four partial sums break the add dependency chain; the same shape the
+	// assembly kernel uses, so results agree closely (not bitwise: the
+	// vector kernel folds eight lanes per partial).
+	var s0, s1, s2, s3 float32
+	j := 0
+	for ; j+3 < len(a); j += 4 {
+		s0 += a[j] * b[j]
+		s1 += a[j+1] * b[j+1]
+		s2 += a[j+2] * b[j+2]
+		s3 += a[j+3] * b[j+3]
+	}
+	for ; j < len(a); j++ {
+		s0 += a[j] * b[j]
+	}
+	return (s0 + s1) + (s2 + s3)
+}

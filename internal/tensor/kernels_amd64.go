@@ -1,0 +1,84 @@
+//go:build amd64
+
+package tensor
+
+// Runtime CPU dispatch for the amd64 SIMD kernels. The assembly in
+// kernels_amd64.s needs AVX2 and FMA3; both are checked via CPUID along
+// with OS support for saving YMM state (OSXSAVE + XCR0), following the
+// standard detection sequence. When any check fails the portable Go
+// kernels stay in place.
+
+//go:noescape
+func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+//go:noescape
+func xgetbv0() (eax, edx uint32)
+
+//go:noescape
+func axpy4fma(dst, b0, b1, b2, b3 *float32, n int, a0, a1, a2, a3 float32)
+
+//go:noescape
+func axpy1fma(dst, b *float32, n int, a float32)
+
+//go:noescape
+func dotfma(a, b *float32, n int) float32
+
+// hasFMA reports whether AVX2+FMA kernels are usable on this CPU/OS.
+var hasFMA = detectFMA()
+
+func detectFMA() bool {
+	maxLeaf, _, _, _ := cpuidex(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuidex(1, 0)
+	const (
+		fmaBit     = 1 << 12
+		osxsaveBit = 1 << 27
+		avxBit     = 1 << 28
+	)
+	if ecx1&fmaBit == 0 || ecx1&osxsaveBit == 0 || ecx1&avxBit == 0 {
+		return false
+	}
+	// OS must save XMM (bit 1) and YMM (bit 2) state.
+	xcr0, _ := xgetbv0()
+	if xcr0&0x6 != 0x6 {
+		return false
+	}
+	_, ebx7, _, _ := cpuidex(7, 0)
+	const avx2Bit = 1 << 5
+	return ebx7&avx2Bit != 0
+}
+
+func init() {
+	if !hasFMA {
+		return
+	}
+	axpy4 = func(dst, b0, b1, b2, b3 []float32, a0, a1, a2, a3 float32) {
+		n := len(dst)
+		if n == 0 {
+			return
+		}
+		_ = b0[n-1]
+		_ = b1[n-1]
+		_ = b2[n-1]
+		_ = b3[n-1]
+		axpy4fma(&dst[0], &b0[0], &b1[0], &b2[0], &b3[0], n, a0, a1, a2, a3)
+	}
+	axpy1 = func(dst, b []float32, a float32) {
+		n := len(dst)
+		if n == 0 {
+			return
+		}
+		_ = b[n-1]
+		axpy1fma(&dst[0], &b[0], n, a)
+	}
+	dot = func(a, b []float32) float32 {
+		n := len(a)
+		if n == 0 {
+			return 0
+		}
+		_ = b[n-1]
+		return dotfma(&a[0], &b[0], n)
+	}
+}

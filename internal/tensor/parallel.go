@@ -3,16 +3,18 @@ package tensor
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
-// maxWorkers bounds the per-operation goroutine fan-out. It is a variable
+// maxWorkers bounds the parallel fan-out of ParallelFor. It is a variable
 // (not a constant) so tests can force serial execution.
-var maxWorkers = runtime.NumCPU()
+var maxWorkers = runtime.GOMAXPROCS(0)
 
 // SetMaxWorkers overrides the parallel fan-out used by ParallelFor. Values
-// below 1 are clamped to 1. It returns the previous setting so callers can
-// restore it. This is intended for tests and benchmarks; it is not
-// synchronized with in-flight operations.
+// below 1 are clamped to 1; 1 forces fully serial, deterministic-order
+// execution. It returns the previous setting so callers can restore it.
+// This is intended for tests and benchmarks; it is not synchronized with
+// in-flight operations.
 func SetMaxWorkers(n int) int {
 	prev := maxWorkers
 	if n < 1 {
@@ -22,11 +24,89 @@ func SetMaxWorkers(n int) int {
 	return prev
 }
 
-// ParallelFor runs fn(i) for i in [0, n) across up to maxWorkers
-// goroutines, blocking until all iterations complete. Work is partitioned
-// into contiguous chunks so each index is processed exactly once and
-// results are independent of scheduling. fn must not panic; iterations must
-// be independent.
+// MaxWorkers reports the current fan-out bound.
+func MaxWorkers() int { return maxWorkers }
+
+// ---------------------------------------------------------------------------
+// Persistent worker pool.
+//
+// Tensor ops run ParallelFor on every call, so spawning goroutines per
+// operation puts the scheduler on the hot path. Instead a fixed set of
+// workers (GOMAXPROCS-1, started lazily on the first parallel operation)
+// stays parked on a channel and picks up jobs as they are published.
+//
+// The submitting goroutine always participates in its own job: it publishes
+// the job to idle workers with non-blocking sends and then drains chunks
+// itself until the index space is exhausted. This has two consequences that
+// make the pool safe by construction:
+//
+//   - No deadlock under nesting or pool exhaustion: even if every worker is
+//     busy (or the pool is saturated by concurrent jobs), the caller alone
+//     completes all chunks.
+//   - Work distribution is dynamic (atomic chunk claiming), but each index
+//     is executed exactly once, so results are independent of scheduling
+//     for the independent-iteration contract ParallelFor requires.
+// ---------------------------------------------------------------------------
+
+// parJob is one ParallelFor invocation flowing through the pool.
+type parJob struct {
+	fn    func(int)
+	n     int64
+	chunk int64
+	next  atomic.Int64 // next unclaimed index
+	left  atomic.Int64 // indices not yet completed
+	done  chan struct{}
+}
+
+// run claims and executes chunks until the index space is exhausted. The
+// last participant to finish closes done.
+func (j *parJob) run() {
+	for {
+		lo := j.next.Add(j.chunk) - j.chunk
+		if lo >= j.n {
+			return
+		}
+		hi := lo + j.chunk
+		if hi > j.n {
+			hi = j.n
+		}
+		for i := lo; i < hi; i++ {
+			j.fn(int(i))
+		}
+		if j.left.Add(lo-hi) == 0 {
+			close(j.done)
+		}
+	}
+}
+
+var (
+	poolOnce sync.Once
+	poolJobs chan *parJob
+)
+
+// startPool launches the persistent workers. One slot is left for the
+// submitting goroutine, which always works on its own job.
+func startPool() {
+	workers := runtime.GOMAXPROCS(0) - 1
+	if workers < 1 {
+		workers = 1
+	}
+	poolJobs = make(chan *parJob, 4*workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			for j := range poolJobs {
+				j.run()
+			}
+		}()
+	}
+}
+
+// ParallelFor runs fn(i) for i in [0, n) across the persistent worker pool,
+// blocking until all iterations complete. Each index is processed exactly
+// once, so for independent iterations the result is identical to a serial
+// loop regardless of scheduling. fn must not panic; iterations must be
+// independent. Nested calls are safe: the caller participates in its own
+// job, so progress never depends on a free pool worker.
 func ParallelFor(n int, fn func(i int)) {
 	if n <= 0 {
 		return
@@ -41,24 +121,25 @@ func ParallelFor(n int, fn func(i int)) {
 		}
 		return
 	}
-	chunk := (n + workers - 1) / workers
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		if lo >= n {
-			break
-		}
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				fn(i)
-			}
-		}(lo, hi)
+	poolOnce.Do(startPool)
+	// Over-decompose by 4x for dynamic load balance without measurable
+	// claiming overhead (one atomic add per chunk).
+	chunk := int64(n) / int64(4*workers)
+	if chunk < 1 {
+		chunk = 1
 	}
-	wg.Wait()
+	j := &parJob{fn: fn, n: int64(n), chunk: chunk, done: make(chan struct{})}
+	j.left.Store(int64(n))
+	// Enlist up to workers-1 helpers; if the queue is full the caller just
+	// does a larger share itself.
+offer:
+	for i := 0; i < workers-1; i++ {
+		select {
+		case poolJobs <- j:
+		default:
+			break offer
+		}
+	}
+	j.run()
+	<-j.done
 }
