@@ -2,11 +2,17 @@
 // bitwidth or fp32, printing per-epoch statistics — the generic training
 // entry point for exploring the library outside the canned experiments.
 //
+// With -dist it trains data-parallel instead: N concurrent workers behind
+// a parameter server, with a selectable gradient codec on the uplink; in
+// -mode apt the server runs the precision controller and broadcasts
+// weights bit-packed at each layer's current bitwidth.
+//
 // Usage:
 //
 //	apttrain -model resnet20 -classes 10 -epochs 20 -mode apt -tmin 6
 //	apttrain -model smallcnn -mode fixed -bits 12
 //	apttrain -model mobilenetv2 -mode fp32
+//	apttrain -model smallcnn -mode apt -dist -workers 4 -codec ternary
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"repro/internal/baselines"
 	"repro/internal/core"
 	"repro/internal/data"
+	"repro/internal/dist"
 	"repro/internal/models"
 	"repro/internal/optim"
 	"repro/internal/tensor"
@@ -50,34 +57,15 @@ func run(args []string, out io.Writer) error {
 	tmax := fs.Float64("tmax", math.Inf(1), "APT Tmax threshold")
 	noise := fs.Float64("noise", 0.8, "SynthCIFAR pixel-noise level (task difficulty)")
 	seed := fs.Uint64("seed", 42, "master seed")
+	distFlag := fs.Bool("dist", false, "train data-parallel through the concurrent parameter-server engine")
+	workers := fs.Int("workers", 2, "data-parallel workers for -dist")
+	codecName := fs.String("codec", "fp32", "-dist gradient codec: fp32, 8bit, ternary")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	cfg := models.Config{Classes: *classes, InputSize: *size, Width: *width, Seed: *seed}
-	var (
-		m   *models.Model
-		err error
-	)
-	switch *modelName {
-	case "resnet20":
-		m, err = models.ResNet20(cfg)
-	case "resnet110":
-		m, err = models.ResNet110(cfg)
-	case "mobilenetv2":
-		m, err = models.MobileNetV2(cfg)
-	case "cifarnet":
-		m, err = models.CifarNet(cfg)
-	case "vggsmall":
-		m, err = models.VGGSmall(cfg)
-	case "smallcnn":
-		m, err = models.SmallCNN(cfg)
-	default:
-		return fmt.Errorf("unknown model %q", *modelName)
-	}
-	if err != nil {
-		return err
-	}
+	build := func() (*models.Model, error) { return buildModel(*modelName, cfg) }
 
 	tr, te, err := data.NewSynth(data.SynthConfig{
 		Classes: *classes, Train: *trainN, Test: *testN, Size: *size,
@@ -91,6 +79,21 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
+	if *distFlag {
+		// dist.Run builds the server model and the per-worker replicas
+		// itself; don't materialize one here just to discard it.
+		return runDist(out, distArgs{
+			build: build, train: aug, test: te,
+			workers: *workers, batch: *batch, epochs: *epochs,
+			lr: *lr, seed: *seed, mode: *mode, codec: *codecName,
+			initBits: *initBits, tmin: *tmin, tmax: *tmax,
+		})
+	}
+
+	m, err := build()
+	if err != nil {
+		return err
+	}
 	tcfg := train.Config{
 		Model: m, Train: aug, Test: te,
 		BatchSize: *batch, Epochs: *epochs,
@@ -128,6 +131,87 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "\nfinal accuracy  %.4f (best %.4f)\n", hist.FinalAcc(), hist.BestAcc())
 	fmt.Fprintf(out, "training energy %.3f of fp32\n", hist.NormalizedEnergy())
 	fmt.Fprintf(out, "training memory %.3f of fp32\n", hist.NormalizedSize())
+	return nil
+}
+
+func buildModel(name string, cfg models.Config) (*models.Model, error) {
+	switch name {
+	case "resnet20":
+		return models.ResNet20(cfg)
+	case "resnet110":
+		return models.ResNet110(cfg)
+	case "mobilenetv2":
+		return models.MobileNetV2(cfg)
+	case "cifarnet":
+		return models.CifarNet(cfg)
+	case "vggsmall":
+		return models.VGGSmall(cfg)
+	case "smallcnn":
+		return models.SmallCNN(cfg)
+	default:
+		return nil, fmt.Errorf("unknown model %q", name)
+	}
+}
+
+type distArgs struct {
+	build          func() (*models.Model, error)
+	train, test    data.Dataset
+	workers, batch int
+	epochs         int
+	lr             float64
+	seed           uint64
+	mode, codec    string
+	initBits       int
+	tmin, tmax     float64
+}
+
+// runDist drives the concurrent parameter-server engine. In apt mode the
+// server runs the precision controller and the weight broadcast ships
+// bit-packed at each layer's current bitwidth.
+func runDist(out io.Writer, a distArgs) error {
+	cfg := dist.Config{
+		Workers: a.workers, Build: a.build, Train: a.train, Test: a.test,
+		BatchSize: a.batch, Epochs: a.epochs, LR: a.lr, Momentum: 0.9,
+		Seed: a.seed, Concurrent: true,
+	}
+	switch a.mode {
+	case "apt":
+		c := core.DefaultConfig()
+		c.InitBits = a.initBits
+		c.Tmin = a.tmin
+		c.Tmax = a.tmax
+		c.Interval = 1 // rounds are coarser than iterations; observe each one
+		cfg.APT = &c
+		cfg.QuantBroadcast = true
+	case "fp32":
+	default:
+		return fmt.Errorf("-dist supports -mode apt or fp32, not %q", a.mode)
+	}
+	switch a.codec {
+	case "fp32":
+		cfg.Codec = dist.FP32Codec{}
+	case "8bit":
+		cfg.Codec = dist.KBitCodec{Bits: 8}
+	case "ternary":
+		cfg.Codec = dist.NewTernaryCodec(a.seed ^ 0x7E12)
+	default:
+		return fmt.Errorf("unknown codec %q (want fp32, 8bit or ternary)", a.codec)
+	}
+	stats, err := dist.Run(cfg)
+	if err != nil {
+		return err
+	}
+	for e, acc := range stats.Accs {
+		fmt.Fprintf(out, "epoch %3d  acc %.4f\n", e, acc)
+	}
+	fmt.Fprintf(out, "\nfinal accuracy  %.4f\n", stats.FinalAcc())
+	fmt.Fprintf(out, "uplink   %d bytes (%s codec)\n", stats.UpBytes, cfg.Codec.Name())
+	bcast := "fp32"
+	if cfg.QuantBroadcast {
+		bcast = "APT bit-packed"
+	}
+	fmt.Fprintf(out, "downlink %d bytes (%s broadcast)\n", stats.DownBytes, bcast)
+	fmt.Fprintf(out, "rounds %d  workers %d  mean bits %.2f\n", stats.Rounds, a.workers, stats.MeanBits)
 	return nil
 }
 

@@ -36,6 +36,23 @@ func TestRunFixedAndFP32Modes(t *testing.T) {
 	}
 }
 
+func TestRunDistMode(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-model", "smallcnn", "-classes", "3", "-size", "12",
+		"-train", "96", "-test", "48", "-epochs", "2", "-batch", "32",
+		"-mode", "apt", "-dist", "-workers", "2", "-codec", "8bit",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run -dist: %v", err)
+	}
+	for _, want := range []string{"final accuracy", "uplink", "downlink", "APT bit-packed", "mean bits"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
 	var out strings.Builder
 	if err := run([]string{"-model", "nosuch"}, &out); err == nil {
@@ -43,5 +60,11 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-mode", "nosuch"}, &out); err == nil {
 		t.Error("unknown mode did not error")
+	}
+	if err := run([]string{"-dist", "-mode", "fixed"}, &out); err == nil {
+		t.Error("-dist with fixed mode did not error")
+	}
+	if err := run([]string{"-dist", "-codec", "nosuch"}, &out); err == nil {
+		t.Error("unknown codec did not error")
 	}
 }

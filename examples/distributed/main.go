@@ -1,9 +1,11 @@
-// Distributed training with gradient compression: the setting TernGrad
-// (one of Table I's comparison methods) was designed for. Two data-
-// parallel workers train a shared model through a parameter server; the
-// worker→server gradient link runs uncompressed (fp32), with DoReFa-style
-// 8-bit quantization, and with TernGrad's ternary code — the example
-// prints the accuracy each reaches and the wire traffic each spent.
+// Distributed training with compressed links: the setting TernGrad (one
+// of Table I's comparison methods) was designed for, now with APT running
+// on the parameter server. Two concurrent data-parallel workers train
+// through the server; the first table compares gradient codecs on the
+// worker→server uplink (fp32, DoReFa-style 8-bit, TernGrad's ternary),
+// and the second compares the server→worker downlink with fp32 weight
+// broadcast against the bitwidth-aware broadcast, where weights ship
+// bit-packed at each layer's current APT bitwidth.
 //
 //	go run ./examples/distributed
 package main
@@ -12,6 +14,7 @@ import (
 	"fmt"
 	"log"
 
+	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/dist"
 	"repro/internal/models"
@@ -27,19 +30,23 @@ func main() {
 	build := func() (*models.Model, error) {
 		return models.SmallCNN(models.Config{Classes: 4, InputSize: 16, Seed: 9})
 	}
+	base := dist.Config{
+		Workers: 2, Build: build, Train: trainSet, Test: testSet,
+		BatchSize: 32, Epochs: 6, LR: 0.05, Momentum: 0.9,
+		Seed: 3, Concurrent: true,
+	}
 
 	codecs := []dist.GradCodec{
 		dist.FP32Codec{},
 		dist.KBitCodec{Bits: 8},
 		dist.NewTernaryCodec(99),
 	}
+	fmt.Println("uplink codecs (fp32 weight broadcast):")
 	fmt.Println("codec     accuracy   uplink        downlink      rounds")
 	for _, codec := range codecs {
-		stats, err := dist.Run(dist.Config{
-			Workers: 2, Build: build, Train: trainSet, Test: testSet,
-			BatchSize: 32, Epochs: 6, LR: 0.05, Momentum: 0.9,
-			Codec: codec, Seed: 3,
-		})
+		cfg := base
+		cfg.Codec = codec
+		stats, err := dist.Run(cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -47,8 +54,30 @@ func main() {
 			codec.Name(), 100*stats.FinalAcc(),
 			fmtBytes(stats.UpBytes), fmtBytes(stats.DownBytes), stats.Rounds)
 	}
-	fmt.Println("\nternary gradients cut the up-link ~16x (2 bits + scale vs 32 bits/element);")
-	fmt.Println("weights still broadcast in fp32, as in the original TernGrad.")
+	fmt.Println("\nternary gradients cut the up-link ~16x (2 bits + scale vs 32 bits/element).")
+
+	fmt.Println("\nweight broadcast (8-bit uplink, APT on the server):")
+	fmt.Println("broadcast       accuracy   downlink      mean bits")
+	for _, quantBcast := range []bool{false, true} {
+		aptCfg := core.DefaultConfig()
+		aptCfg.Interval = 1 // observe every parameter-server round
+		cfg := base
+		cfg.Codec = dist.KBitCodec{Bits: 8}
+		cfg.APT = &aptCfg
+		cfg.QuantBroadcast = quantBcast
+		stats, err := dist.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		name := "fp32"
+		if quantBcast {
+			name = "APT bit-packed"
+		}
+		fmt.Printf("%-15s %6.1f%%    %-13s %.2f\n",
+			name, 100*stats.FinalAcc(), fmtBytes(stats.DownBytes), stats.MeanBits)
+	}
+	fmt.Println("\nwith the bitwidth-aware broadcast the downlink shrinks with APT's")
+	fmt.Println("precision state: layers at 6 bits ship 6-bit weights, not fp32.")
 }
 
 func fmtBytes(b int64) string {

@@ -202,6 +202,13 @@ func (c *Controller) AdjustEpoch() ([]Change, error) {
 	var changes []Change
 	for _, p := range c.params {
 		g := c.avg[p]
+		if !c.seen[p] {
+			// Never observed this epoch window: record the full-precision
+			// sentinel, not 0 — a 0 would plot as "maximally starving" in
+			// the Figure 1 harness and could be picked as the starved
+			// layer. The adjustment below is already gated on seen.
+			g = quant.GavgFullPrecision
+		}
 		c.gavgTrace[p.Name] = append(c.gavgTrace[p.Name], g)
 		k := p.Bits()
 		next := k

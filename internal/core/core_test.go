@@ -311,6 +311,60 @@ func TestTracesRecorded(t *testing.T) {
 	}
 }
 
+// TestAdjustEpochUnseenRecordsSentinel is the regression test for the
+// Figure 1 trace corruption: a parameter that was never observed in the
+// epoch window must record the full-precision sentinel, not 0 — a 0 plots
+// as "maximally starving" and would be picked as the starved layer by the
+// harness's min-over-first-epoch selection.
+func TestAdjustEpochUnseenRecordsSentinel(t *testing.T) {
+	ps := makeParams(t, 2, 32)
+	cfg := DefaultConfig()
+	cfg.Interval = 1
+	ctrl, err := NewController(cfg, ps)
+	if err != nil {
+		t.Fatalf("NewController: %v", err)
+	}
+	// Epoch boundary with zero observations: trace gets the sentinel and
+	// no bitwidths move.
+	changes, err := ctrl.AdjustEpoch()
+	if err != nil {
+		t.Fatalf("AdjustEpoch: %v", err)
+	}
+	if len(changes) != 0 {
+		t.Errorf("unseen params were adjusted: %v", changes)
+	}
+	for _, name := range ctrl.TracedParams() {
+		tr := ctrl.GavgTrace(name)
+		if len(tr) != 1 {
+			t.Fatalf("GavgTrace(%s) length = %d, want 1", name, len(tr))
+		}
+		if tr[0] != quant.GavgFullPrecision {
+			t.Errorf("GavgTrace(%s)[0] = %v, want sentinel %v", name, tr[0], quant.GavgFullPrecision)
+		}
+		if bt := ctrl.BitsTrace(name); len(bt) != 1 || bt[0] != cfg.InitBits {
+			t.Errorf("BitsTrace(%s) = %v, want [%d]", name, bt, cfg.InitBits)
+		}
+	}
+	// Once observed, the real moving average is recorded and the trace
+	// stays one entry per epoch.
+	for _, p := range ps {
+		p.Grad.Fill(p.Eps() / 50) // starving: Gavg well under Tmin
+	}
+	ctrl.ObserveBatch()
+	if _, err := ctrl.AdjustEpoch(); err != nil {
+		t.Fatalf("AdjustEpoch: %v", err)
+	}
+	for _, name := range ctrl.TracedParams() {
+		tr := ctrl.GavgTrace(name)
+		if len(tr) != 2 {
+			t.Fatalf("GavgTrace(%s) length = %d, want 2", name, len(tr))
+		}
+		if tr[1] >= quant.GavgFullPrecision {
+			t.Errorf("GavgTrace(%s)[1] = %v, want a real observation", name, tr[1])
+		}
+	}
+}
+
 func TestMeanBitsWeighted(t *testing.T) {
 	rng := tensor.NewRNG(8)
 	big := tensor.New(300)

@@ -1,0 +1,202 @@
+package dist
+
+import (
+	"fmt"
+
+	"repro/internal/data"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+	"repro/internal/train"
+)
+
+// The concurrent engine: one goroutine per worker, each owning a full
+// model replica, with the main goroutine acting as the parameter server.
+//
+// Synchronization model (kept deliberately narrow so the whole engine is
+// provably race-free and deterministic):
+//
+//   - A worker touches only its own replica, its own gradient staging
+//     tensors, and the batch it was handed. It never reads server state.
+//   - The server touches worker-owned state (staged gradients, replica
+//     weights during a sync) only while the worker is parked between jobs.
+//     The job/done channel pair provides the happens-before edges.
+//   - Codec encoding, gradient averaging and weight syncs all run on the
+//     server goroutine in fixed worker order, so every floating-point
+//     reduction has a scheduling-independent order. Worker forward and
+//     backward passes are the only concurrently-executing compute, and
+//     each one is deterministic in isolation (tensor.ParallelFor executes
+//     every index exactly once regardless of scheduling).
+//
+// Together with the shared server core in dist.go this makes a Workers=1
+// concurrent run bit-identical to the sequential reference, and any
+// worker count seed-deterministic.
+//
+// Batch-norm running statistics are worker-local (as in a real data
+// deployment); evaluation uses worker 0's replica, which at Workers=1 has
+// seen exactly the shards the sequential reference's shared model saw.
+
+// job is one shard assignment for a worker round.
+type job struct {
+	batch  *tensor.Tensor
+	labels []int
+}
+
+// replica is one worker: a private model copy plus gradient staging.
+type replica struct {
+	id     int
+	m      *models.Model
+	params []*nn.Param
+	stage  []*tensor.Tensor
+	jobs   chan job
+	done   chan error // buffered: a worker never blocks publishing a result
+}
+
+func (r *replica) loop() {
+	loss := nn.SoftmaxCrossEntropy{}
+	for jb := range r.jobs {
+		r.done <- r.step(loss, jb)
+	}
+}
+
+// step runs one forward/backward on the replica and stages the gradients
+// for the server to ingest.
+func (r *replica) step(loss nn.SoftmaxCrossEntropy, jb job) error {
+	logits, err := r.m.Net.Forward(jb.batch, true)
+	if err != nil {
+		return fmt.Errorf("dist: worker %d forward: %w", r.id, err)
+	}
+	_, dlogits, err := loss.Forward(logits, jb.labels)
+	if err != nil {
+		return fmt.Errorf("dist: worker %d loss: %w", r.id, err)
+	}
+	if _, err := r.m.Net.Backward(dlogits); err != nil {
+		return fmt.Errorf("dist: worker %d backward: %w", r.id, err)
+	}
+	for i, p := range r.params {
+		if err := r.stage[i].CopyFrom(p.Grad); err != nil {
+			return fmt.Errorf("dist: worker %d %s: %w", r.id, p.Name, err)
+		}
+		p.ZeroGrad()
+	}
+	return nil
+}
+
+// runConcurrent executes the goroutine-per-worker engine.
+func runConcurrent(cfg Config) (*Stats, error) {
+	srv, err := newServer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Build one full replica per worker and align it bit-for-bit with the
+	// server: weights, quant grids, masters and batch-norm statistics.
+	// This initial ship is uncharged (in a deployment the initial weights
+	// travel with the job submission, not over the training-round links).
+	snap := nn.CaptureState(srv.m.Layers())
+	replicas := make([]*replica, cfg.Workers)
+	for w := range replicas {
+		m, err := cfg.Build()
+		if err != nil {
+			return nil, fmt.Errorf("dist: build worker %d: %w", w, err)
+		}
+		if err := nn.RestoreState(m.Layers(), snap); err != nil {
+			return nil, fmt.Errorf("dist: worker %d: %w", w, err)
+		}
+		r := &replica{
+			id:     w,
+			m:      m,
+			params: m.Params(),
+			jobs:   make(chan job),
+			done:   make(chan error, 1),
+		}
+		r.stage = make([]*tensor.Tensor, len(r.params))
+		for i, p := range r.params {
+			r.stage[i] = tensor.New(p.Value.Shape()...)
+		}
+		replicas[w] = r
+		go r.loop()
+	}
+	defer func() {
+		for _, r := range replicas {
+			close(r.jobs)
+		}
+	}()
+
+	rng := tensor.NewRNG(cfg.Seed ^ 0xD157)
+	loader, err := data.NewLoader(cfg.Train, cfg.BatchSize, rng.Split())
+	if err != nil {
+		return nil, fmt.Errorf("dist: %w", err)
+	}
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		// As in the sequential engine, end-of-epoch can arrive mid-round;
+		// the partial round still trains and the flag ends the epoch.
+		for exhausted := false; !exhausted; {
+			srv.beginRound()
+			dispatched := 0
+			for _, r := range replicas {
+				batch, labels, ok := loader.Next()
+				if !ok {
+					exhausted = true
+					break
+				}
+				r.jobs <- job{batch: batch, labels: labels}
+				dispatched++
+			}
+			if dispatched == 0 {
+				break // epoch exhausted
+			}
+			var firstErr error
+			for w := 0; w < dispatched; w++ {
+				if err := <-replicas[w].done; err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+			if firstErr != nil {
+				return nil, firstErr
+			}
+			// All dispatched workers are parked: the server owns every
+			// staged gradient until the next dispatch.
+			for w := 0; w < dispatched; w++ {
+				if err := srv.ingest(replicas[w].stage); err != nil {
+					return nil, err
+				}
+			}
+			if err := srv.finishRound(dispatched); err != nil {
+				return nil, err
+			}
+			// Broadcast: every worker pulls the fresh weights (and, in
+			// quantized mode, the grids they were packed on). Replicas
+			// that sat out a partial round still sync so all replicas
+			// enter the next round identical; only the pulls of the
+			// workers that trained are charged (in finishRound).
+			for _, r := range replicas {
+				if err := nn.SyncParams(r.params, srv.params); err != nil {
+					return nil, fmt.Errorf("dist: worker %d: %w", r.id, err)
+				}
+			}
+		}
+		if err := srv.finishEpoch(); err != nil {
+			return nil, err
+		}
+		if srv.ctrl != nil {
+			// The epoch-boundary precision adjustment requantized the
+			// server's weights; realign the replicas before evaluation
+			// and the next epoch. Uncharged, mirroring the sequential
+			// reference where the adjustment mutates the shared replica
+			// in place.
+			for _, r := range replicas {
+				if err := nn.SyncParams(r.params, srv.params); err != nil {
+					return nil, fmt.Errorf("dist: worker %d: %w", r.id, err)
+				}
+			}
+		}
+		acc, err := train.Evaluate(replicas[0].m, cfg.Test, cfg.BatchSize)
+		if err != nil {
+			return nil, fmt.Errorf("dist: epoch %d eval: %w", epoch, err)
+		}
+		srv.st.Accs = append(srv.st.Accs, acc)
+	}
+	srv.finalize(replicas[0].m)
+	return srv.st, nil
+}

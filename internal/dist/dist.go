@@ -1,32 +1,50 @@
-// Package dist simulates data-parallel training through a parameter
-// server with compressed gradient links — the deployment setting TernGrad
-// (one of Table I's comparison methods) was designed for. Workers compute
-// gradients on disjoint mini-batch shards, push them through a GradCodec
-// (fp32, k-bit affine, or ternary), and the server averages the decoded
-// gradients, applies the SGD step, and broadcasts fp32 weights back.
+// Package dist trains data-parallel through a parameter server with
+// compressed links — the deployment setting TernGrad (one of Table I's
+// comparison methods) was designed for, and the one APT's own precision
+// state makes cheaper on the wire. Workers each own a full model replica,
+// compute gradients on disjoint mini-batch shards, push them through a
+// GradCodec (fp32, k-bit affine, or ternary), and the server averages the
+// decoded gradients, applies the SGD step, and broadcasts weights back.
 //
-// The simulation runs the workers sequentially against one shared model
-// replica (weights are identical across replicas between rounds, so the
-// computed gradients match a true multi-process run exactly); what it tracks
-// faithfully is the learning trajectory under lossy gradient codes and
-// the wire traffic each link spends.
+// Two engines share one server core (so they execute the same
+// floating-point operations in the same order):
+//
+//   - the sequential reference (Config.Concurrent = false) runs the
+//     workers one after another on a single shared replica — weights are
+//     identical across replicas between rounds, so the computed gradients
+//     match a true multi-process run exactly;
+//   - the concurrent engine (Config.Concurrent = true) runs one goroutine
+//     per worker, each owning a private replica kept bit-identical to the
+//     server through the nn.SyncParams broadcast path. At Workers = 1 its
+//     trajectory is bit-identical to the sequential reference; at any
+//     worker count it is deterministic for a fixed seed.
+//
+// When the server runs an APT controller (Config.APT), the downlink can be
+// bitwidth-aware (Config.QuantBroadcast): each layer's weights ship
+// bit-packed at the layer's current APT bitwidth instead of fp32, so the
+// broadcast traffic shrinks as APT keeps layers at low precision — the
+// scenario the paper motivates for resource-constrained deployments.
 package dist
 
 import (
 	"fmt"
 	"math"
 
+	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/models"
 	"repro/internal/nn"
 	"repro/internal/optim"
+	"repro/internal/quant"
 	"repro/internal/tensor"
 	"repro/internal/train"
 )
 
 // GradCodec compresses one worker→server gradient push. Encode replaces
 // g's contents with the values the server decodes (simulating the lossy
-// wire format) and returns the number of bytes the push costs.
+// wire format) and returns the number of bytes the push costs. Codecs run
+// in the server's ingest path, in worker order, so stateful codecs (the
+// ternary sampler) stay deterministic under the concurrent engine.
 type GradCodec interface {
 	Name() string
 	Encode(g *tensor.Tensor) int64
@@ -42,7 +60,8 @@ func (FP32Codec) Name() string { return "fp32" }
 func (FP32Codec) Encode(g *tensor.Tensor) int64 { return int64(g.Len()) * 4 }
 
 // KBitCodec quantizes each gradient tensor onto a k-bit affine grid over
-// its live range (DoReFa-style gradient quantization).
+// its live range (DoReFa-style gradient quantization). Re-encoding a
+// tensor that is already snapped onto its grid is lossless.
 type KBitCodec struct {
 	Bits int
 }
@@ -52,17 +71,9 @@ func (c KBitCodec) Name() string { return fmt.Sprintf("%d-bit", c.Bits) }
 
 // Encode implements GradCodec.
 func (c KBitCodec) Encode(g *tensor.Tensor) int64 {
-	lo, hi := g.MinMax()
-	span := float64(hi) - float64(lo)
-	levels := float64(int64(1)<<uint(c.Bits) - 1)
-	if span > 0 {
-		eps := span / levels
-		d := g.Data()
-		for i, v := range d {
-			q := math.Round((float64(v) - float64(lo)) / eps)
-			d[i] = lo + float32(q*eps)
-		}
-	}
+	st := quant.State{Bits: c.Bits}
+	st.Refresh(g)
+	st.SnapInPlace(g)
 	// Payload: packed k-bit codes plus the fp32 range pair.
 	return (int64(g.Len())*int64(c.Bits)+7)/8 + 8
 }
@@ -108,7 +119,7 @@ func (t *TernaryCodec) Encode(g *tensor.Tensor) int64 {
 	return (int64(g.Len())*2+7)/8 + 4
 }
 
-// Config assembles one simulated data-parallel run.
+// Config assembles one data-parallel run.
 type Config struct {
 	Workers   int
 	Build     func() (*models.Model, error)
@@ -120,18 +131,41 @@ type Config struct {
 	Momentum  float64
 	Codec     GradCodec
 	Seed      uint64
+
+	// Concurrent selects the goroutine-per-worker engine; false runs the
+	// sequential reference implementation on one shared replica.
+	Concurrent bool
+
+	// APT, when non-nil, runs a precision controller on the server: it
+	// observes the averaged gradients each round and adjusts per-layer
+	// bitwidths at epoch boundaries.
+	APT *core.Config
+
+	// QuantBroadcast ships weights bit-packed at each layer's current APT
+	// bitwidth instead of fp32 (requires APT). The packed wire format is
+	// authoritative: the server snaps its own weights onto the broadcast
+	// grid so server and replicas stay bit-identical.
+	QuantBroadcast bool
 }
 
 // Stats records the outcome of a run.
 type Stats struct {
 	// UpBytes is the total worker→server gradient traffic.
 	UpBytes int64
-	// DownBytes is the total server→worker fp32 weight broadcast traffic.
+	// DownBytes is the total server→worker weight broadcast traffic
+	// (fp32, or bit-packed when QuantBroadcast is set).
 	DownBytes int64
 	// Rounds is the number of parameter-server update rounds.
 	Rounds int
 	// Accs is the test accuracy after each epoch.
 	Accs []float64
+	// MeanBits is the final parameter-weighted mean bitwidth of the
+	// server model (32 without APT).
+	MeanBits float64
+	// Final is the final state of the evaluation model (the shared
+	// replica for the sequential engine, worker 0's replica for the
+	// concurrent one), for checkpointing and equivalence tests.
+	Final *nn.NetState
 }
 
 // FinalAcc returns the last epoch's test accuracy (0 for an empty run).
@@ -142,60 +176,220 @@ func (s *Stats) FinalAcc() float64 {
 	return s.Accs[len(s.Accs)-1]
 }
 
-// Run executes the simulated parameter-server training loop.
-func Run(cfg Config) (*Stats, error) {
-	if cfg.Workers <= 0 || cfg.Build == nil || cfg.Train == nil || cfg.Test == nil {
-		return nil, fmt.Errorf("dist: workers, build and datasets are required")
-	}
-	if cfg.BatchSize <= 0 || cfg.Epochs <= 0 {
-		return nil, fmt.Errorf("dist: batch size %d and epochs %d must be positive", cfg.BatchSize, cfg.Epochs)
-	}
-	if cfg.Codec == nil {
-		cfg.Codec = FP32Codec{}
-	}
+// server owns the canonical model replica, the optimizer, the codec and
+// (optionally) the APT precision controller. Both engines drive rounds
+// through it, which is what makes the Workers=1 trajectories bit-identical
+// across engines: the per-round arithmetic and its order live here once.
+type server struct {
+	cfg    Config
+	m      *models.Model
+	params []*nn.Param
+	opt    *optim.SGD
+	ctrl   *core.Controller
+	codec  GradCodec
+	sum    []*tensor.Tensor // per-parameter gradient accumulator
+	st     *Stats
+}
+
+func newServer(cfg Config) (*server, error) {
 	m, err := cfg.Build()
 	if err != nil {
 		return nil, fmt.Errorf("dist: build: %w", err)
 	}
-	params := m.Params()
+	s := &server{
+		cfg:    cfg,
+		m:      m,
+		params: m.Params(),
+		opt:    optim.NewSGD(cfg.LR, cfg.Momentum, 0),
+		codec:  cfg.Codec,
+		st:     &Stats{},
+	}
+	if cfg.APT != nil {
+		ctrl, err := core.NewController(*cfg.APT, s.params)
+		if err != nil {
+			return nil, fmt.Errorf("dist: %w", err)
+		}
+		s.ctrl = ctrl
+	}
+	s.sum = make([]*tensor.Tensor, len(s.params))
+	for i, p := range s.params {
+		s.sum[i] = tensor.New(p.Value.Shape()...)
+	}
+	return s, nil
+}
+
+// beginRound zeroes the gradient accumulator.
+func (s *server) beginRound() {
+	for _, t := range s.sum {
+		t.Zero()
+	}
+}
+
+// ingest models one worker→server push: the staged gradients pass through
+// the codec (which rewrites them to the decoded wire values and prices the
+// uplink) and accumulate into the round sum.
+func (s *server) ingest(stage []*tensor.Tensor) error {
+	for i := range s.params {
+		s.st.UpBytes += s.codec.Encode(stage[i])
+		if err := s.sum[i].Add(stage[i]); err != nil {
+			return fmt.Errorf("dist: %s: %w", s.params[i].Name, err)
+		}
+	}
+	return nil
+}
+
+// finishRound averages the decoded gradients, lets the APT controller
+// observe them, applies the SGD step, and charges the downlink for shards
+// weight pulls.
+func (s *server) finishRound(shards int) error {
+	inv := 1 / float32(shards)
+	for i, p := range s.params {
+		s.sum[i].Scale(inv)
+		if err := p.Grad.CopyFrom(s.sum[i]); err != nil {
+			return fmt.Errorf("dist: %s: %w", p.Name, err)
+		}
+	}
+	if s.ctrl != nil {
+		s.ctrl.ObserveBatch()
+	}
+	if err := s.opt.Step(s.params); err != nil {
+		return fmt.Errorf("dist: step: %w", err)
+	}
+	per, err := s.broadcastBytes()
+	if err != nil {
+		return err
+	}
+	s.st.DownBytes += per * int64(shards)
+	s.st.Rounds++
+	return nil
+}
+
+// broadcastBytes prices one worker's weight pull. fp32 mode ships every
+// tensor raw. Quantized mode ships each quantized tensor bit-packed at its
+// current bitwidth (payload plus an 8-byte grid header); the pack→unpack
+// round trip is applied to the server's own weights too, so the wire
+// format is authoritative and server and replicas cannot drift.
+func (s *server) broadcastBytes() (int64, error) {
+	var bytes int64
+	for _, p := range s.params {
+		if s.cfg.QuantBroadcast && p.Q != nil && !p.Q.FullPrecision() && p.Q.Eps > 0 {
+			packed, err := quant.Pack(p.Value, p.Q)
+			if err != nil {
+				return 0, fmt.Errorf("dist: broadcast %s: %w", p.Name, err)
+			}
+			dec, err := packed.Unpack(p.Value.Shape()...)
+			if err != nil {
+				return 0, fmt.Errorf("dist: broadcast %s: %w", p.Name, err)
+			}
+			if err := p.Value.CopyFrom(dec); err != nil {
+				return 0, fmt.Errorf("dist: broadcast %s: %w", p.Name, err)
+			}
+			bytes += int64(packed.SizeBytes()) + 8
+		} else {
+			bytes += int64(p.Value.Len()) * 4
+		}
+	}
+	return bytes, nil
+}
+
+// finishEpoch runs the epoch-boundary APT precision adjustment (a
+// server-side requantization of the canonical weights).
+func (s *server) finishEpoch() error {
+	if s.ctrl == nil {
+		return nil
+	}
+	if _, err := s.ctrl.AdjustEpoch(); err != nil {
+		return fmt.Errorf("dist: adjust: %w", err)
+	}
+	return nil
+}
+
+func (s *server) finalize(evalModel *models.Model) {
+	s.st.MeanBits = meanBits(s.params)
+	s.st.Final = nn.CaptureState(evalModel.Layers())
+}
+
+func meanBits(params []*nn.Param) float64 {
+	var bits, n float64
+	for _, p := range params {
+		w := float64(p.Value.Len())
+		bits += w * float64(p.Bits())
+		n += w
+	}
+	if n == 0 {
+		return 0
+	}
+	return bits / n
+}
+
+func (c *Config) validate() error {
+	if c.Workers <= 0 || c.Build == nil || c.Train == nil || c.Test == nil {
+		return fmt.Errorf("dist: workers, build and datasets are required")
+	}
+	if c.BatchSize <= 0 || c.Epochs <= 0 {
+		return fmt.Errorf("dist: batch size %d and epochs %d must be positive", c.BatchSize, c.Epochs)
+	}
+	if c.QuantBroadcast && c.APT == nil {
+		return fmt.Errorf("dist: QuantBroadcast requires an APT controller config")
+	}
+	if c.Codec == nil {
+		c.Codec = FP32Codec{}
+	}
+	return nil
+}
+
+// Run executes the data-parallel training loop with the engine selected by
+// cfg.Concurrent.
+func Run(cfg Config) (*Stats, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Concurrent {
+		return runConcurrent(cfg)
+	}
+	return runSequential(cfg)
+}
+
+// runSequential is the reference implementation: the workers run one after
+// another against a single shared model replica. Weights are identical
+// across replicas between rounds, so the computed gradients match a true
+// multi-process run exactly; batch-norm running statistics accumulate over
+// every shard (the one observable difference from the concurrent engine at
+// Workers > 1, where they are worker-local).
+func runSequential(cfg Config) (*Stats, error) {
+	srv, err := newServer(cfg)
+	if err != nil {
+		return nil, err
+	}
 	rng := tensor.NewRNG(cfg.Seed ^ 0xD157)
 	loader, err := data.NewLoader(cfg.Train, cfg.BatchSize, rng.Split())
 	if err != nil {
 		return nil, fmt.Errorf("dist: %w", err)
 	}
-	opt := optim.NewSGD(cfg.LR, cfg.Momentum, 0)
 	loss := nn.SoftmaxCrossEntropy{}
 
-	// Per-parameter accumulator for the averaged worker gradients and a
-	// reusable staging tensor for the codec, allocated once.
-	sum := make([]*tensor.Tensor, len(params))
-	stage := make([]*tensor.Tensor, len(params))
-	for i, p := range params {
-		sum[i] = tensor.New(p.Value.Shape()...)
+	// Reusable staging tensors for the codec, allocated once.
+	stage := make([]*tensor.Tensor, len(srv.params))
+	for i, p := range srv.params {
 		stage[i] = tensor.New(p.Value.Shape()...)
 	}
-	weightBytes := int64(0)
-	for _, p := range params {
-		weightBytes += int64(p.Value.Len()) * 4
-	}
 
-	st := &Stats{}
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
-		for {
-			// One round: up to cfg.Workers shards, one per worker. Weights
-			// are identical across replicas between rounds, so running the
-			// workers sequentially on the shared model computes the same
-			// gradients a real deployment would.
+		// The inner loop runs rounds until the loader signals end of epoch.
+		// The signal can arrive mid-round (batch count not divisible by the
+		// worker count); the partial round still trains, and the exhausted
+		// flag ends the epoch afterwards.
+		for exhausted := false; !exhausted; {
+			// One round: up to cfg.Workers shards, one per worker.
+			srv.beginRound()
 			shards := 0
-			for i := range sum {
-				sum[i].Zero()
-			}
 			for w := 0; w < cfg.Workers; w++ {
 				batch, labels, ok := loader.Next()
 				if !ok {
+					exhausted = true
 					break
 				}
-				logits, err := m.Net.Forward(batch, true)
+				logits, err := srv.m.Net.Forward(batch, true)
 				if err != nil {
 					return nil, fmt.Errorf("dist: epoch %d forward: %w", epoch, err)
 				}
@@ -203,44 +397,36 @@ func Run(cfg Config) (*Stats, error) {
 				if err != nil {
 					return nil, fmt.Errorf("dist: epoch %d loss: %w", epoch, err)
 				}
-				if _, err := m.Net.Backward(dlogits); err != nil {
+				if _, err := srv.m.Net.Backward(dlogits); err != nil {
 					return nil, fmt.Errorf("dist: epoch %d backward: %w", epoch, err)
 				}
-				for i, p := range params {
+				for i, p := range srv.params {
 					if err := stage[i].CopyFrom(p.Grad); err != nil {
 						return nil, fmt.Errorf("dist: %s: %w", p.Name, err)
 					}
 					p.ZeroGrad()
-					st.UpBytes += cfg.Codec.Encode(stage[i])
-					if err := sum[i].Add(stage[i]); err != nil {
-						return nil, fmt.Errorf("dist: %s: %w", p.Name, err)
-					}
+				}
+				if err := srv.ingest(stage); err != nil {
+					return nil, err
 				}
 				shards++
 			}
 			if shards == 0 {
 				break // epoch exhausted
 			}
-			// Server: average the decoded gradients and take the SGD step.
-			inv := 1 / float32(shards)
-			for i, p := range params {
-				sum[i].Scale(inv)
-				if err := p.Grad.CopyFrom(sum[i]); err != nil {
-					return nil, fmt.Errorf("dist: %s: %w", p.Name, err)
-				}
+			if err := srv.finishRound(shards); err != nil {
+				return nil, err
 			}
-			if err := opt.Step(params); err != nil {
-				return nil, fmt.Errorf("dist: step: %w", err)
-			}
-			// Broadcast: every worker pulls the fresh fp32 weights.
-			st.DownBytes += weightBytes * int64(shards)
-			st.Rounds++
 		}
-		acc, err := train.Evaluate(m, cfg.Test, cfg.BatchSize)
+		if err := srv.finishEpoch(); err != nil {
+			return nil, err
+		}
+		acc, err := train.Evaluate(srv.m, cfg.Test, cfg.BatchSize)
 		if err != nil {
 			return nil, fmt.Errorf("dist: epoch %d eval: %w", epoch, err)
 		}
-		st.Accs = append(st.Accs, acc)
+		srv.st.Accs = append(srv.st.Accs, acc)
 	}
-	return st, nil
+	srv.finalize(srv.m)
+	return srv.st, nil
 }

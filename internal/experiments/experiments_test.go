@@ -171,3 +171,37 @@ func TestFig1MicroShape(t *testing.T) {
 		t.Errorf("layer A Gavg did not recover: %v -> %v", ga[0], ga[len(ga)-1])
 	}
 }
+
+// TestDistMicroTraffic runs the dist extension end-to-end at Micro scale
+// and checks the traffic shape: compressed uplinks beat fp32, and the
+// bitwidth-aware broadcast beats the fp32 downlink. Skipped in -short
+// mode (a few seconds of training).
+func TestDistMicroTraffic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training run")
+	}
+	rep, err := Dist(Micro(), io.Discard)
+	if err != nil {
+		t.Fatalf("Dist: %v", err)
+	}
+	traffic := func(label string) (up, down float64) {
+		s := rep.Series[label+" traffic"]
+		if len(s) != 2 {
+			t.Fatalf("missing traffic series for %q", label)
+		}
+		return s[0], s[1]
+	}
+	upFP32, downFP32 := traffic("fp32 up / fp32 down")
+	up8, _ := traffic("8-bit up / fp32 down")
+	upTern, _ := traffic("ternary up / fp32 down")
+	_, downAPT := traffic("8-bit up / APT down")
+	if !(up8 < upFP32/3) {
+		t.Errorf("8-bit uplink %v not well under fp32 %v", up8, upFP32)
+	}
+	if !(upTern < up8) {
+		t.Errorf("ternary uplink %v not under 8-bit %v", upTern, up8)
+	}
+	if !(downAPT < downFP32/2) {
+		t.Errorf("APT downlink %v not under half of fp32 %v", downAPT, downFP32)
+	}
+}

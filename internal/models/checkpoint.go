@@ -143,18 +143,8 @@ func Load(r io.Reader, m *Model) error {
 	return nil
 }
 
-// collectBatchNorms walks the layer tree for batch-norm layers.
+// collectBatchNorms walks the layer tree for batch-norm layers, via the
+// shared walker that also backs the replica snapshot facility (nn.WalkLayers).
 func collectBatchNorms(layers []nn.Layer) []*nn.BatchNorm2D {
-	var out []*nn.BatchNorm2D
-	for _, l := range layers {
-		switch v := l.(type) {
-		case *nn.BatchNorm2D:
-			out = append(out, v)
-		case *nn.Sequential:
-			out = append(out, collectBatchNorms(v.Layers())...)
-		case *nn.Residual:
-			out = append(out, collectBatchNorms(v.Inner())...)
-		}
-	}
-	return out
+	return nn.CollectBatchNorms(layers)
 }

@@ -1,0 +1,168 @@
+package nn
+
+import (
+	"testing"
+
+	"repro/internal/quant"
+	"repro/internal/tensor"
+)
+
+// stateTestNet builds a small conv-bn-relu-linear stack with a mix of
+// precision modes: a quantized conv weight, an fp32 bias, and a
+// master-copy linear weight.
+func stateTestNet(t *testing.T, seed uint64) []Layer {
+	t.Helper()
+	rng := tensor.NewRNG(seed)
+	g := tensor.ConvGeom{InC: 2, InH: 6, InW: 6, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	conv, err := NewConv2D(Conv2DConfig{Name: "t.conv", In: g, OutC: 3, RNG: rng})
+	if err != nil {
+		t.Fatalf("NewConv2D: %v", err)
+	}
+	bn, err := NewBatchNorm2D("t.bn", 3)
+	if err != nil {
+		t.Fatalf("NewBatchNorm2D: %v", err)
+	}
+	fc, err := NewLinear("t.fc", 3*6*6, 4, true, rng)
+	if err != nil {
+		t.Fatalf("NewLinear: %v", err)
+	}
+	layers := []Layer{NewSequential("t.stem", conv, bn, NewReLU("t.relu")), NewFlatten("t.flat"), fc}
+	params := CollectParams(layers)
+	if err := params[0].SetBits(6); err != nil {
+		t.Fatalf("SetBits: %v", err)
+	}
+	last := params[len(params)-1]
+	last.EnableMaster()
+	return layers
+}
+
+func TestCaptureRestoreRoundTrip(t *testing.T) {
+	src := stateTestNet(t, 7)
+	snap := CaptureState(src)
+
+	// Restore into a differently-seeded twin and require bit-identity of
+	// every value, quant grid and batch-norm statistic.
+	dst := stateTestNet(t, 99)
+	if err := RestoreState(dst, snap); err != nil {
+		t.Fatalf("RestoreState: %v", err)
+	}
+	sp, dp := CollectParams(src), CollectParams(dst)
+	for i := range sp {
+		sd, dd := sp[i].Value.Data(), dp[i].Value.Data()
+		for j := range sd {
+			if sd[j] != dd[j] {
+				t.Fatalf("%s[%d] = %v, want %v", sp[i].Name, j, dd[j], sd[j])
+			}
+		}
+		if (sp[i].Q == nil) != (dp[i].Q == nil) {
+			t.Fatalf("%s quant state mismatch", sp[i].Name)
+		}
+		if sp[i].Q != nil && *sp[i].Q != *dp[i].Q {
+			t.Fatalf("%s quant grid = %+v, want %+v", sp[i].Name, *dp[i].Q, *sp[i].Q)
+		}
+		if (sp[i].Master == nil) != (dp[i].Master == nil) {
+			t.Fatalf("%s master mismatch", sp[i].Name)
+		}
+	}
+	sbn, dbn := CollectBatchNorms(src), CollectBatchNorms(dst)
+	sm, sv := sbn[0].RunningStats()
+	dm, dv := dbn[0].RunningStats()
+	for c := range sm {
+		if sm[c] != dm[c] || sv[c] != dv[c] {
+			t.Fatalf("bn stats channel %d differ", c)
+		}
+	}
+}
+
+func TestSnapshotOwnsItsStorage(t *testing.T) {
+	layers := stateTestNet(t, 3)
+	params := CollectParams(layers)
+	snap := CaptureState(layers)
+	before := snap.Params[0].Value[0]
+	params[0].Value.Data()[0] = before + 42
+	if snap.Params[0].Value[0] != before {
+		t.Error("snapshot aliases live tensor storage")
+	}
+	// Restoring must bring the mutated value back.
+	if err := RestoreState(layers, snap); err != nil {
+		t.Fatalf("RestoreState: %v", err)
+	}
+	if got := params[0].Value.Data()[0]; got != before {
+		t.Errorf("restored value = %v, want %v", got, before)
+	}
+}
+
+func TestRestoreStateRejectsMismatch(t *testing.T) {
+	layers := stateTestNet(t, 3)
+	snap := CaptureState(layers)
+
+	snap.Params[0].Name = "other"
+	if err := RestoreState(layers, snap); err == nil {
+		t.Error("name mismatch did not error")
+	}
+	snap = CaptureState(layers)
+	snap.Params = snap.Params[1:]
+	if err := RestoreState(layers, snap); err == nil {
+		t.Error("parameter count mismatch did not error")
+	}
+	snap = CaptureState(layers)
+	snap.BatchNorms[0].Name = "ghost.bn"
+	if err := RestoreState(layers, snap); err == nil {
+		t.Error("unknown batch-norm did not error")
+	}
+}
+
+func TestSyncParamsBitIdentical(t *testing.T) {
+	src := CollectParams(stateTestNet(t, 7))
+	dst := CollectParams(stateTestNet(t, 99))
+	if err := SyncParams(dst, src); err != nil {
+		t.Fatalf("SyncParams: %v", err)
+	}
+	for i := range src {
+		sd, dd := src[i].Value.Data(), dst[i].Value.Data()
+		for j := range sd {
+			if sd[j] != dd[j] {
+				t.Fatalf("%s[%d] = %v, want %v", src[i].Name, j, dd[j], sd[j])
+			}
+		}
+		if src[i].Q != nil {
+			if dst[i].Q == nil || *dst[i].Q != *src[i].Q {
+				t.Fatalf("%s quant state not synced", src[i].Name)
+			}
+			if dst[i].Q == src[i].Q {
+				t.Fatalf("%s quant state aliased, want copy", src[i].Name)
+			}
+		}
+		if src[i].Master != nil {
+			if dst[i].Master == nil {
+				t.Fatalf("%s master not synced", src[i].Name)
+			}
+			if dst[i].Master == src[i].Master {
+				t.Fatalf("%s master aliased, want copy", src[i].Name)
+			}
+		}
+	}
+	// Quant state must be a copy: mutating the source's grid afterwards
+	// must not leak into the destination.
+	for i := range src {
+		if src[i].Q != nil {
+			src[i].Q.Bits = quant.MaxBits
+			if dst[i].Q.Bits == quant.MaxBits {
+				t.Fatalf("%s quant state shared after sync", src[i].Name)
+			}
+			break
+		}
+	}
+}
+
+func TestSyncParamsRejectsMismatch(t *testing.T) {
+	a := CollectParams(stateTestNet(t, 1))
+	b := CollectParams(stateTestNet(t, 2))
+	if err := SyncParams(a[:len(a)-1], b); err == nil {
+		t.Error("length mismatch did not error")
+	}
+	b[0].Name = "other"
+	if err := SyncParams(a, b); err == nil {
+		t.Error("name mismatch did not error")
+	}
+}

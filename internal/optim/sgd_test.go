@@ -103,14 +103,33 @@ func TestSGDQuantizedPathLargeStepMoves(t *testing.T) {
 	if err := sgd.Step([]*nn.Param{p}); err != nil {
 		t.Fatalf("Step: %v", err)
 	}
-	moved := 0
+	// Every element must take the full 10·eps step unless that would walk
+	// it off the affine range, in which case it clamps to the grid floor
+	// (quant.UpdateInPlace's Eq. 3 + clamp semantics).
+	min := p.Q.Min
+	moved, clamped := 0, 0
 	for i := range before.Data() {
-		if p.Value.Data()[i] != before.Data()[i] {
-			moved++
+		got := p.Value.Data()[i]
+		want := before.Data()[i] - 10*eps
+		switch {
+		case want < min:
+			if got != min {
+				t.Fatalf("w[%d] = %v, want clamp to range floor %v", i, got, min)
+			}
+			clamped++
+		case math.Abs(float64(got-want)) > 1e-5:
+			t.Fatalf("w[%d] = %v, want %v", i, got, want)
+		default:
+			if got != before.Data()[i] {
+				moved++
+			}
 		}
 	}
-	if moved != 64 {
-		t.Errorf("moved %d of 64 weights, want all", moved)
+	if moved == 0 {
+		t.Error("no weight took the large step")
+	}
+	if moved+clamped != 64 {
+		t.Errorf("moved %d + clamped %d of 64 weights, want all accounted for", moved, clamped)
 	}
 }
 

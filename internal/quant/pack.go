@@ -16,11 +16,14 @@ import (
 // the real encoded size.
 
 // Packed is a bit-packed quantized tensor: ⌈n·k/8⌉ bytes of payload plus
-// the affine grid needed to decode.
+// the affine grid needed to decode. The grid travels as its (Min, Max)
+// endpoints so the decoder re-derives the same float64 level spacing the
+// snap used — a packed tensor that was on its grid decodes bit-exactly.
 type Packed struct {
 	Bits  int
 	Min   float32
-	Eps   float32
+	Max   float32
+	Eps   float32 // float32 summary of the spacing; 0 marks a degenerate grid
 	Count int
 	Data  []byte
 }
@@ -35,21 +38,26 @@ func Pack(t *tensor.Tensor, st *State) (*Packed, error) {
 		return nil, fmt.Errorf("quant: cannot bit-pack a full-precision tensor")
 	}
 	if st.Eps == 0 {
-		return &Packed{Bits: st.Bits, Min: st.Min, Eps: 0, Count: t.Len()}, nil
+		return &Packed{Bits: st.Bits, Min: st.Min, Max: st.Max, Eps: 0, Count: t.Len()}, nil
 	}
 	k := st.Bits
 	n := t.Len()
 	p := &Packed{
 		Bits:  k,
 		Min:   st.Min,
+		Max:   st.Max,
 		Eps:   st.Eps,
 		Count: n,
 		Data:  make([]byte, (n*k+7)/8),
 	}
 	levels := uint64(1)<<uint(k) - 1
+	// The same float64 spacing SnapInPlace projects with, so snapped
+	// values recover their level index exactly.
+	eps := (float64(st.Max) - float64(st.Min)) / float64(levels)
+	lo := float64(st.Min)
 	bitPos := 0
 	for _, v := range t.Data() {
-		q := math.Round(float64(v-st.Min) / float64(st.Eps))
+		q := math.Round((float64(v) - lo) / eps)
 		if q < 0 {
 			q = 0
 		}
@@ -80,10 +88,27 @@ func (p *Packed) Unpack(shape ...int) (*tensor.Tensor, error) {
 		}
 		return out, nil
 	}
+	levels := uint64(1)<<uint(p.Bits) - 1
+	lo := float64(p.Min)
+	eps := (float64(p.Max) - lo) / float64(levels)
+	// Integrity check: the float32 Eps summary must agree with the grid
+	// the endpoints span. A mismatch means a corrupt record — or one
+	// written by the pre-Max format, whose gob decoding leaves Max = 0.
+	if rel := math.Abs(eps-float64(p.Eps)) / float64(p.Eps); rel > 1e-3 {
+		return nil, fmt.Errorf("quant: unpack: grid endpoints [%v, %v] disagree with eps %v (corrupt or pre-Max-format record)",
+			p.Min, p.Max, p.Eps)
+	}
 	bitPos := 0
 	for i := 0; i < p.Count; i++ {
 		q := readBits(p.Data, bitPos, p.Bits)
-		d[i] = p.Min + float32(q)*p.Eps
+		switch {
+		case q == 0:
+			d[i] = p.Min
+		case q >= levels:
+			d[i] = p.Max
+		default:
+			d[i] = float32(lo + float64(q)*eps)
+		}
 		bitPos += p.Bits
 	}
 	return out, nil

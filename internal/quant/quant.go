@@ -101,21 +101,30 @@ func (s *State) Scale() (S float32, Z int32) {
 // SnapInPlace projects every element of t onto the current grid:
 // r ↦ Min + round((r−Min)/ε)·ε, clamped to [Min, Max]. With a degenerate
 // or full-precision grid it is a no-op.
+//
+// The snap is an exact projection: the grid arithmetic runs in float64 and
+// the two endpoint levels map to Min and Max bit-exactly, so re-deriving
+// the grid from a snapped tensor (Refresh) reproduces the same (Min, Max,
+// Eps) and a second snap is the identity. Codecs and the broadcast packer
+// rely on this idempotence.
 func (s *State) SnapInPlace(t *tensor.Tensor) {
 	if s.FullPrecision() || s.Eps == 0 {
 		return
 	}
-	min, eps := s.Min, s.Eps
+	lo, hi := float64(s.Min), float64(s.Max)
 	levels := float64(int64(1)<<uint(s.Bits) - 1)
+	eps := (hi - lo) / levels
 	d := t.Data()
 	for i, v := range d {
-		q := math.Round(float64(v-min) / float64(eps))
-		if q < 0 {
-			q = 0
-		} else if q > levels {
-			q = levels
+		q := math.Round((float64(v) - lo) / eps)
+		switch {
+		case q <= 0:
+			d[i] = s.Min
+		case q >= levels:
+			d[i] = s.Max
+		default:
+			d[i] = float32(lo + q*eps)
 		}
-		d[i] = min + float32(q)*eps
 	}
 }
 
@@ -133,6 +142,13 @@ func (s *State) Quantize(t *tensor.Tensor) {
 // applied as w := w − step. After the update the values are clamped onto
 // the affine range; the range itself is re-derived lazily by the caller
 // via Refresh (mirroring the paper, which recomputes S and Z per tensor).
+//
+// Note the consequence of the clamp in master-less mode: a k-bit tensor
+// cannot represent values off its grid, so the live range is
+// non-expanding — Refresh can shrink it but never grow it past the
+// initial span. This is the faithful simulation of real k-bit integer
+// storage; baselines that need unbounded fp32 drift use the master-copy
+// mode, where the clamp never applies.
 //
 // With a full-precision state the update degenerates to plain SGD.
 // It returns the number of elements whose update underflowed to zero.
@@ -156,7 +172,15 @@ func (s *State) UpdateInPlace(w, update *tensor.Tensor) (underflowed int, err er
 			}
 			continue
 		}
-		wd[i] -= float32(steps * eps)
+		v := wd[i] - float32(steps*eps)
+		// Clamp onto the affine range, matching SnapInPlace: Min and Max
+		// sit on the grid, so a clamped element stays on it.
+		if v < s.Min {
+			v = s.Min
+		} else if v > s.Max {
+			v = s.Max
+		}
+		wd[i] = v
 	}
 	return underflowed, nil
 }

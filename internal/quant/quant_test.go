@@ -172,6 +172,39 @@ func TestUpdateInPlaceFullPrecision(t *testing.T) {
 	}
 }
 
+// TestUpdateInPlaceClampsToRange is the regression test for the missing
+// clamp: the doc contract says updated values are "clamped onto the affine
+// range", so no update — however large — may push an element off
+// [Min, Max].
+func TestUpdateInPlaceClampsToRange(t *testing.T) {
+	// Grid [0, 3] at 2 bits: eps = 1. Updates of ±10 would land at −7 and
+	// +13 without the clamp.
+	st := &State{Bits: 2, Min: 0, Max: 3, Eps: 1}
+	w := tensor.MustFromSlice([]float32{3, 0, 2}, 3)
+	up := tensor.MustFromSlice([]float32{-10, 10, 1}, 3)
+	uf, err := st.UpdateInPlace(w, up)
+	if err != nil {
+		t.Fatalf("UpdateInPlace: %v", err)
+	}
+	if uf != 0 {
+		t.Errorf("underflowed = %d, want 0", uf)
+	}
+	if got := w.Data()[0]; got != st.Max {
+		t.Errorf("w[0] = %v, want clamp to Max %v", got, st.Max)
+	}
+	if got := w.Data()[1]; got != st.Min {
+		t.Errorf("w[1] = %v, want clamp to Min %v", got, st.Min)
+	}
+	if got := w.Data()[2]; got != 1 {
+		t.Errorf("w[2] = %v, want in-range step to 1", got)
+	}
+	for i, v := range w.Data() {
+		if v < st.Min || v > st.Max {
+			t.Errorf("w[%d] = %v escaped [%v, %v]", i, v, st.Min, st.Max)
+		}
+	}
+}
+
 func TestUpdateInPlaceShapeError(t *testing.T) {
 	st := &State{Bits: 8, Min: 0, Max: 1, Eps: 1.0 / 255}
 	w := tensor.New(3)

@@ -149,7 +149,10 @@ func (h *History) EnergyToAccuracy(target float64) (norm float64, reached bool) 
 	perEpochRef := h.FP32Energy / float64(len(h.Epochs))
 	for _, e := range h.Epochs {
 		if e.TestAcc >= target {
-			return e.CumEnergy / (perEpochRef * float64(len(h.Epochs))), true
+			// Pro-rate the reference to the epochs actually spent: an fp32
+			// run of the same geometry would have used perEpochRef·(e+1)
+			// by this point, not the full-run FP32Energy.
+			return e.CumEnergy / (perEpochRef * float64(e.Epoch+1)), true
 		}
 	}
 	return 0, false
