@@ -1,0 +1,206 @@
+// Command aptserve trains a compact model on the SynthCIFAR workload,
+// compiles it to the integer-only inference engine, and serves it over
+// HTTP with dynamic micro-batching:
+//
+//	aptserve [-addr :8651] [-workers 2] [-max-batch 32] [-max-delay 2ms]
+//
+// Endpoints:
+//
+//	POST /classify  {"input": [c·h·w floats]} or {"inputs": [[...], ...]}
+//	GET  /healthz   liveness probe
+//	GET  /stats     request/batch counters, p50/p99 latency, throughput
+//
+// -smoke starts the server on an ephemeral port, performs one /classify
+// round trip against a held-out sample, and shuts down cleanly — the CI
+// end-to-end probe.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/infer"
+	"repro/internal/models"
+	"repro/internal/optim"
+	"repro/internal/serve"
+	"repro/internal/train"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "aptserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("aptserve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8651", "listen address")
+	classes := fs.Int("classes", 4, "number of classes")
+	size := fs.Int("size", 16, "input spatial size")
+	trainN := fs.Int("train", 512, "training samples")
+	testN := fs.Int("test", 128, "held-out samples")
+	epochs := fs.Int("epochs", 6, "training epochs before serving")
+	seed := fs.Uint64("seed", 7, "experiment seed")
+	workers := fs.Int("workers", 2, "batching workers (engine replicas)")
+	maxBatch := fs.Int("max-batch", 32, "max samples fused into one engine call")
+	maxDelay := fs.Duration("max-delay", 2*time.Millisecond, "max wait for a batch to fill")
+	queueCap := fs.Int("queue", 0, "request queue bound (0 = 4·max-batch·workers)")
+	smoke := fs.Bool("smoke", false, "serve on an ephemeral port, run one classify round trip, exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv, testSet, err := buildServer(*classes, *size, *trainN, *testN, *epochs, *seed,
+		*workers, *maxBatch, *maxDelay, *queueCap, out)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	hs := &http.Server{Handler: srv.Handler()}
+	if *smoke {
+		return smokeRun(hs, srv, testSet, *size, out)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "serving on %s (workers=%d max-batch=%d max-delay=%s)\n",
+		ln.Addr(), *workers, *maxBatch, *maxDelay)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(out, "shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil {
+		return err
+	}
+	srv.Close()
+	stats := srv.Stats()
+	fmt.Fprintf(out, "served %d requests in %d batches (mean batch %.2f)\n",
+		stats.Requests, stats.Batches, stats.MeanBatch)
+	return nil
+}
+
+// buildServer trains, compiles and wraps the engine in the batching
+// server.
+func buildServer(classes, size, trainN, testN, epochs int, seed uint64,
+	workers, maxBatch int, maxDelay time.Duration, queueCap int, out io.Writer) (*serve.Server, data.Dataset, error) {
+	trainSet, testSet, err := data.NewSynth(data.SynthConfig{
+		Classes: classes, Train: trainN, Test: testN, Size: size, Seed: seed, Noise: 0.5,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	model, err := models.SmallCNN(models.Config{Classes: classes, InputSize: size, Seed: seed + 1})
+	if err != nil {
+		return nil, nil, err
+	}
+	fmt.Fprintf(out, "training smallcnn (%d samples, %d epochs)...\n", trainN, epochs)
+	hist, err := train.Run(train.Config{
+		Model: model, Train: trainSet, Test: testSet, BatchSize: 32, Epochs: epochs,
+		Schedule: optim.ConstSchedule(0.05), Momentum: 0.9, Seed: seed + 2,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	calibN := 64
+	if calibN > trainSet.Len() {
+		calibN = trainSet.Len()
+	}
+	calib, _, err := data.PackBatch(trainSet, calibN)
+	if err != nil {
+		return nil, nil, err
+	}
+	engine, err := infer.Compile(model, infer.Config{Calibration: calib})
+	if err != nil {
+		return nil, nil, err
+	}
+	fmt.Fprintf(out, "trained to %.1f%% accuracy; int8 engine %.1f KiB\n",
+		100*hist.BestAcc(), float64(engine.SizeBytes())/1024)
+	srv, err := serve.New(serve.Config{
+		Engine:  engine, // sample geometry defaults from engine.InputShape
+		Workers: workers, MaxBatch: maxBatch, MaxDelay: maxDelay, QueueCap: queueCap,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return srv, testSet, nil
+}
+
+// smokeRun binds an ephemeral port, performs health and classify round
+// trips over real HTTP, and shuts the server down.
+func smokeRun(hs *http.Server, srv *serve.Server, testSet data.Dataset, size int, out io.Writer) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz: status %d", resp.StatusCode)
+	}
+
+	img, label := testSet.Sample(0)
+	body, err := json.Marshal(map[string]any{"input": img.Data()})
+	if err != nil {
+		return err
+	}
+	resp, err = http.Post(base+"/classify", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("classify: %w", err)
+	}
+	var got struct {
+		Class *int `json:"class"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&got)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("classify decode: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK || got.Class == nil {
+		return fmt.Errorf("classify: status %d, body %+v", resp.StatusCode, got)
+	}
+	fmt.Fprintf(out, "smoke: /classify -> class %d (label %d)\n", *got.Class, label)
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil {
+		return err
+	}
+	if err := <-errc; err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	srv.Close()
+	st := srv.Stats()
+	fmt.Fprintf(out, "smoke: clean shutdown after %d request(s)\n", st.Requests)
+	return nil
+}

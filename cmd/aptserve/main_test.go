@@ -1,0 +1,32 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSmokeRoundTrip runs the whole serving pipeline end to end: train,
+// compile, bind an ephemeral port, one HTTP classify round trip, clean
+// shutdown — the same path CI drives via `aptserve -smoke`.
+func TestSmokeRoundTrip(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-smoke", "-size", "12", "-train", "96", "-test", "32", "-epochs", "1",
+		"-workers", "1", "-max-batch", "4",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run -smoke: %v\noutput:\n%s", err, out.String())
+	}
+	for _, want := range []string{"/classify -> class", "clean shutdown"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-definitely-not-a-flag"}, &out); err == nil {
+		t.Error("unknown flag did not error")
+	}
+}

@@ -1,8 +1,10 @@
 // Deploy: the full edge pipeline the paper's quantization scheme was
 // chosen for — train with APT (quantized weights, adaptive per-layer
-// precision), checkpoint the model with bit-packed weights, then compile
-// it to an integer-only (int8/uint8/int32) inference engine and compare
-// the deployed engine against the float model on held-out data.
+// precision), checkpoint the model with bit-packed weights, compile it
+// to an integer-only (int8/uint8/int32) inference engine, compare the
+// deployed engine against the float model on held-out data, and finally
+// serve it under concurrent load through the micro-batching server,
+// reporting p50/p99 latency and throughput.
 //
 //	go run ./examples/deploy
 package main
@@ -11,10 +13,13 @@ import (
 	"bytes"
 	"fmt"
 	"log"
+	"sync"
+	"time"
 
 	"repro"
+	"repro/internal/data"
 	"repro/internal/infer"
-	"repro/internal/tensor"
+	"repro/internal/serve"
 )
 
 func main() {
@@ -53,10 +58,9 @@ func main() {
 
 	// 3. Compile to the integer-only engine (calibrating activation
 	// ranges on a training batch).
-	calib := tensor.New(64, 3, 16, 16)
-	for i := 0; i < 64; i++ {
-		img, _ := trainSet.Sample(i)
-		copy(calib.Data()[i*img.Len():(i+1)*img.Len()], img.Data())
+	calib, _, err := data.PackBatch(trainSet, 64)
+	if err != nil {
+		log.Fatal(err)
 	}
 	engine, err := infer.Compile(model, infer.Config{Calibration: calib})
 	if err != nil {
@@ -66,12 +70,9 @@ func main() {
 
 	// 4. Compare deployed vs float accuracy on the test set.
 	n := testSet.Len()
-	x := tensor.New(n, 3, 16, 16)
-	labels := make([]int, n)
-	for i := 0; i < n; i++ {
-		img, l := testSet.Sample(i)
-		copy(x.Data()[i*img.Len():(i+1)*img.Len()], img.Data())
-		labels[i] = l
+	x, labels, err := data.PackBatch(testSet, n)
+	if err != nil {
+		log.Fatal(err)
 	}
 	floatLogits, err := model.Net.Forward(x, false)
 	if err != nil {
@@ -97,4 +98,49 @@ func main() {
 	fmt.Printf("\nfloat model accuracy : %.1f%%\n", 100*float64(floatCorrect)/float64(n))
 	fmt.Printf("int8 engine accuracy : %.1f%%\n", 100*float64(intCorrect)/float64(n))
 	fmt.Printf("prediction agreement : %.1f%%\n", 100*float64(agree)/float64(n))
+
+	// 5. Serve the engine under concurrent load: requests from many
+	// clients coalesce into shared integer GEMM batches.
+	timeForward := func(f func() error) time.Duration {
+		start := time.Now()
+		const reps = 5
+		for i := 0; i < reps; i++ {
+			if err := f(); err != nil {
+				log.Fatal(err)
+			}
+		}
+		return time.Since(start) / reps
+	}
+	floatLat := timeForward(func() error { _, err := model.Net.Forward(x, false); return err })
+	intLat := timeForward(func() error { _, err := engine.Forward(x); return err })
+	fmt.Printf("\nbatch-%d forward     : float %s, int8 %s\n", n, floatLat.Round(time.Microsecond), intLat.Round(time.Microsecond))
+
+	srv, err := serve.New(serve.Config{
+		Engine:  engine, // sample geometry defaults from engine.InputShape
+		Workers: 2, MaxBatch: 32, MaxDelay: 2 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	const clients, perClient = 12, 16
+	sample := 3 * 16 * 16
+	var wg sync.WaitGroup
+	wg.Add(clients)
+	for c := 0; c < clients; c++ {
+		c := c
+		go func() {
+			defer wg.Done()
+			for r := 0; r < perClient; r++ {
+				img := x.Data()[((c*perClient+r)%n)*sample:][:sample]
+				if _, err := srv.Classify(img); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st := srv.Stats()
+	srv.Close()
+	fmt.Printf("served %d requests   : %d batches (mean %.1f), p50 %.1fms, p99 %.1fms, %.0f req/s\n",
+		st.Requests, st.Batches, st.MeanBatch, st.P50Ms, st.P99Ms, st.Throughput)
 }

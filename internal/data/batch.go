@@ -1,0 +1,37 @@
+package data
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// PackBatch copies n samples of ds — indices 0..n−1, wrapping modulo the
+// dataset length — into one (n, C, H, W) batch tensor, returning the
+// batch and the corresponding labels. It is the shared packing step for
+// calibration batches, evaluation batches and serving benchmarks.
+func PackBatch(ds Dataset, n int) (*tensor.Tensor, []int, error) {
+	if ds == nil || ds.Len() == 0 {
+		return nil, nil, fmt.Errorf("data: pack batch from an empty dataset")
+	}
+	if n <= 0 {
+		return nil, nil, fmt.Errorf("data: pack batch of %d samples", n)
+	}
+	first, _ := ds.Sample(0)
+	if first.Rank() != 3 {
+		return nil, nil, fmt.Errorf("data: %w: sample shape %v, want (C,H,W)", tensor.ErrShape, first.Shape())
+	}
+	c, h, w := first.Dim(0), first.Dim(1), first.Dim(2)
+	x := tensor.New(n, c, h, w)
+	labels := make([]int, n)
+	per := first.Len()
+	for i := 0; i < n; i++ {
+		img, label := ds.Sample(i % ds.Len())
+		if img.Len() != per {
+			return nil, nil, fmt.Errorf("data: %w: sample %d has %d values, want %d", tensor.ErrShape, i, img.Len(), per)
+		}
+		copy(x.Data()[i*per:(i+1)*per], img.Data())
+		labels[i] = label
+	}
+	return x, labels, nil
+}

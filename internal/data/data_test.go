@@ -7,6 +7,43 @@ import (
 	"repro/internal/tensor"
 )
 
+func TestPackBatch(t *testing.T) {
+	tr, _, err := NewSynth(SynthConfig{Classes: 3, Train: 5, Test: 3, Size: 8, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wraps modulo the dataset length.
+	x, labels, err := PackBatch(tr, 7)
+	if err != nil {
+		t.Fatalf("PackBatch: %v", err)
+	}
+	if got := x.Shape(); got[0] != 7 || got[1] != 3 || got[2] != 8 || got[3] != 8 {
+		t.Fatalf("batch shape %v", got)
+	}
+	if len(labels) != 7 {
+		t.Fatalf("labels %d", len(labels))
+	}
+	img0, l0 := tr.Sample(0)
+	per := img0.Len()
+	for j := 0; j < per; j++ {
+		if x.Data()[j] != img0.Data()[j] {
+			t.Fatalf("sample 0 not copied at %d", j)
+		}
+		if x.Data()[5*per+j] != img0.Data()[j] {
+			t.Fatalf("sample 5 did not wrap to sample 0 at %d", j)
+		}
+	}
+	if labels[0] != l0 || labels[5] != l0 {
+		t.Errorf("labels did not wrap: %v vs %d", labels, l0)
+	}
+	if _, _, err := PackBatch(tr, 0); err == nil {
+		t.Error("zero-size batch did not error")
+	}
+	if _, _, err := PackBatch(nil, 4); err == nil {
+		t.Error("nil dataset did not error")
+	}
+}
+
 func TestNewSynthValidation(t *testing.T) {
 	if _, _, err := NewSynth(SynthConfig{Train: 0, Test: 10}); err == nil {
 		t.Error("zero train size did not error")

@@ -1,7 +1,10 @@
 package experiments
 
 import (
+	"encoding/json"
 	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -203,5 +206,54 @@ func TestDistMicroTraffic(t *testing.T) {
 	}
 	if !(downAPT < downFP32/2) {
 		t.Errorf("APT downlink %v not under half of fp32 %v", downAPT, downFP32)
+	}
+}
+
+// TestInferMicroBench runs the serving benchmark extension end-to-end at
+// Micro scale: the engine paths must produce positive timings, the
+// micro-batching server must coalesce requests, and the JSON report must
+// land on disk. Skipped in -short mode (a training run plus benching).
+func TestInferMicroBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training run")
+	}
+	prev := InferBenchPath
+	InferBenchPath = filepath.Join(t.TempDir(), "BENCH_infer.json")
+	defer func() { InferBenchPath = prev }()
+	rep, err := Infer(Micro(), io.Discard)
+	if err != nil {
+		t.Fatalf("Infer: %v", err)
+	}
+	for _, name := range []string{
+		"int8_engine_forward_b1", "int8_engine_forward_b64",
+		"float_model_forward_b1", "float_model_forward_b64",
+	} {
+		s := rep.Series[name]
+		if len(s) != 2 || s[0] <= 0 || s[1] <= 0 {
+			t.Errorf("series %q = %v, want positive (ns, samples/s)", name, s)
+		}
+	}
+	sv := rep.Series["serving"]
+	if len(sv) != 4 {
+		t.Fatalf("serving series = %v", sv)
+	}
+	if sv[3] <= 1 {
+		t.Errorf("serving mean batch %v, want > 1 (micro-batching coalesces)", sv[3])
+	}
+	raw, err := os.ReadFile(InferBenchPath)
+	if err != nil {
+		t.Fatalf("JSON report not written: %v", err)
+	}
+	var doc struct {
+		Rows    []struct{ Name string } `json:"rows"`
+		Serving struct {
+			Requests uint64 `json:"requests"`
+		} `json:"serving"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("JSON report invalid: %v", err)
+	}
+	if len(doc.Rows) != 4 || doc.Serving.Requests == 0 {
+		t.Errorf("JSON report shape: %d rows, %d served requests", len(doc.Rows), doc.Serving.Requests)
 	}
 }

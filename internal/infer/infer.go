@@ -9,82 +9,56 @@
 //  1. batch-norm folding — each Conv→BN pair collapses into one
 //     convolution with rescaled weights and a bias;
 //  2. range calibration — a calibration batch runs through the float
-//     graph recording each activation tensor's min/max;
-//  3. integer lowering — weights become symmetric int8 (zero point 0),
-//     activations affine uint8; convolutions and linears accumulate in
-//     int32 and requantize with the float multiplier M = S_x·S_w / S_y,
-//     fusing the ReLU as a clamp at the output zero point.
+//     graph recording each activation tensor's min/max, fixing every
+//     quantization grid at compile time;
+//  3. integer lowering — weights become symmetric int8 with
+//     per-output-channel scales (zero point 0), activations affine uint8;
+//     convolutions and linears run as one batched uint8×int8→int32 GEMM
+//     (im2col'd with the zero point as padding, so no border
+//     special-casing) and requantize through the fixed-point multiplier
+//     M = S_x·S_w/S_y ≈ m0·2^−rsh, fusing the ReLU as a clamp at the
+//     output zero point. Residual blocks lower to a requantizing integer
+//     add; pooling/reshape layers run directly on the uint8 payload.
 //
-// Supported graphs are the sequential backbones (SmallCNN, CifarNet,
-// VGGSmall): Conv2D, BatchNorm2D, ReLU, MaxPool2D, GlobalAvgPool,
-// Flatten, Linear. Residual topologies would additionally need a
-// rescaling integer add; they are rejected at compile time.
+// The hot path is integer-only end to end (floats appear only at the
+// input/output boundary, as in a deployed runtime) and allocation-free at
+// steady state: all intermediates live in per-call scratch workspaces
+// leased from the engine's free list, which also makes concurrent
+// Forward calls on one Engine safe — the compiled layers are immutable.
+//
+// Supported graphs are the sequential conv backbones (SmallCNN, CifarNet,
+// VGGSmall) and residual topologies (ResNet): Conv2D, BatchNorm2D, ReLU
+// (including the clipped ReLU6 variant, whose cap folds into the
+// calibration clamp), MaxPool2D, GlobalAvgPool, Flatten, Linear,
+// Residual.
 package infer
 
 import (
 	"fmt"
-	"math"
+	"runtime"
 
 	"repro/internal/models"
 	"repro/internal/tensor"
 )
 
-// qtensor is an affine-quantized activation: uint8 payload with scale and
-// zero point, NCHW.
-type qtensor struct {
-	shape []int
-	data  []uint8
-	scale float32
-	zero  int32
-}
-
-func (q *qtensor) len() int { return len(q.data) }
-
-// quantize converts a float tensor onto the uint8 grid of [min, max].
-func quantize(t *tensor.Tensor, min, max float32) *qtensor {
-	if min > 0 {
-		min = 0 // keep 0 exactly representable (padding, ReLU floor)
-	}
-	if max <= min {
-		max = min + 1e-3
-	}
-	scale := (max - min) / 255
-	zero := int32(math.Round(float64(-min) / float64(scale)))
-	q := &qtensor{shape: t.Shape(), data: make([]uint8, t.Len()), scale: scale, zero: zero}
-	for i, v := range t.Data() {
-		x := math.Round(float64(v)/float64(scale)) + float64(zero)
-		if x < 0 {
-			x = 0
-		} else if x > 255 {
-			x = 255
-		}
-		q.data[i] = uint8(x)
-	}
-	return q
-}
-
-// dequantize restores the float view.
-func (q *qtensor) dequantize() *tensor.Tensor {
-	out := tensor.New(q.shape...)
-	d := out.Data()
-	for i, v := range q.data {
-		d[i] = q.scale * float32(int32(v)-q.zero)
-	}
-	return out
-}
-
-// qlayer is one integer-lowered stage.
+// qlayer is one integer-lowered stage. forward reads x (a scratch slot
+// owned by the producing layer) and writes this layer's own slot in s.
+// Implementations hold only immutable compiled data, so one qlayer may
+// run concurrently against different scratches.
 type qlayer interface {
 	name() string
-	forward(x *qtensor) (*qtensor, error)
+	forward(x *qtensor, s *scratch) (*qtensor, error)
 }
 
-// Engine is a compiled integer inference graph.
+// Engine is a compiled integer inference graph. It is safe for
+// concurrent use: every Forward call leases a private scratch workspace
+// from a free list (allocating one only when all are in flight).
 type Engine struct {
-	layers []qlayer
-	inMin  float32
-	inMax  float32
-	class  int
+	layers        []qlayer
+	in            grid
+	inC, inH, inW int
+	nbuf          int
+	pool          chan *scratch
 }
 
 // Config controls Compile.
@@ -92,6 +66,11 @@ type Config struct {
 	// Calibration provides representative inputs (N, C, H, W); the more
 	// representative, the tighter the activation grids.
 	Calibration *tensor.Tensor
+	// PerTensorWeights falls back to one symmetric scale per weight
+	// tensor instead of the default per-output-channel scales. It exists
+	// as an ablation knob (per-channel is strictly tighter); see
+	// TestPerChannelScalesTightenAgreement.
+	PerTensorWeights bool
 }
 
 // Compile folds, calibrates and lowers a float model. The model is not
@@ -107,33 +86,69 @@ func Compile(m *models.Model, cfg Config) (*Engine, error) {
 	// Calibration pass: record per-stage output ranges on the float graph.
 	x := cfg.Calibration
 	inMin, inMax := x.MinMax()
-	ranges := make([][2]float32, len(stages))
-	for i, st := range stages {
-		x, err = st.floatForward(x)
-		if err != nil {
-			return nil, fmt.Errorf("infer: calibrate %s: %w", st.label, err)
-		}
-		min, max := x.MinMax()
-		ranges[i] = [2]float32{min, max}
+	if _, err := calibrateChain(stages, x); err != nil {
+		return nil, fmt.Errorf("infer: %w", err)
 	}
-	eng := &Engine{inMin: inMin, inMax: inMax, class: m.Class}
-	for i, st := range stages {
-		ql, err := st.lower(ranges[i])
-		if err != nil {
-			return nil, fmt.Errorf("infer: lower %s: %w", st.label, err)
-		}
-		eng.layers = append(eng.layers, ql)
+
+	nbuf := 0
+	nextID := func() int { id := nbuf; nbuf++; return id }
+	nextID() // slot 0: the quantized input
+	in := gridFor(inMin, inMax)
+	layers, _, err := lowerChain(stages, in, cfg, nextID)
+	if err != nil {
+		return nil, fmt.Errorf("infer: %w", err)
 	}
-	return eng, nil
+	caps := runtime.GOMAXPROCS(0)
+	if caps < 4 {
+		caps = 4
+	}
+	return &Engine{
+		layers: layers,
+		in:     in,
+		inC:    m.InC, inH: m.InH, inW: m.InW,
+		nbuf: nbuf,
+		pool: make(chan *scratch, caps),
+	}, nil
+}
+
+// lease takes a scratch workspace from the free list, building a fresh
+// one only when every pooled scratch is in flight.
+func (e *Engine) lease() *scratch {
+	select {
+	case s := <-e.pool:
+		return s
+	default:
+		return newScratch(e.nbuf)
+	}
+}
+
+// release returns a scratch to the free list (dropping it when the list
+// is full, e.g. after a burst of concurrent calls).
+func (e *Engine) release(s *scratch) {
+	select {
+	case e.pool <- s:
+	default:
+	}
 }
 
 // Forward runs integer inference on a float input batch and returns float
-// logits (dequantized at the boundary, as a deployed runtime would).
+// logits (dequantized at the boundary, as a deployed runtime would). The
+// returned tensor is freshly allocated and owned by the caller. Forward
+// is safe to call concurrently on one Engine; identical inputs produce
+// bit-identical outputs regardless of concurrency or worker count
+// (integer arithmetic has no reduction-order sensitivity).
 func (e *Engine) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
-	q := quantize(x, e.inMin, e.inMax)
+	if x.Rank() != 4 || x.Dim(1) != e.inC || x.Dim(2) != e.inH || x.Dim(3) != e.inW {
+		return nil, fmt.Errorf("infer: %w: input %v, want (N,%d,%d,%d)",
+			tensor.ErrShape, x.Shape(), e.inC, e.inH, e.inW)
+	}
+	s := e.lease()
+	defer e.release(s)
+	q := &s.acts[0]
+	quantizeInto(q, x, e.in)
 	var err error
 	for _, l := range e.layers {
-		q, err = l.forward(q)
+		q, err = l.forward(q, s)
 		if err != nil {
 			return nil, fmt.Errorf("infer: %s: %w", l.name(), err)
 		}
@@ -155,6 +170,10 @@ func (e *Engine) Classify(x *tensor.Tensor) ([]int, error) {
 	return out, nil
 }
 
+// InputShape returns the per-sample input geometry (C, H, W);
+// serve.New reads it to default its sample validation.
+func (e *Engine) InputShape() (c, h, w int) { return e.inC, e.inH, e.inW }
+
 // SizeBytes returns the engine's parameter storage (int8 weights + int32
 // biases), the deployed footprint.
 func (e *Engine) SizeBytes() int {
@@ -165,4 +184,300 @@ func (e *Engine) SizeBytes() int {
 		}
 	}
 	return total
+}
+
+// ---------------------------------------------------------------------------
+// Integer layers
+// ---------------------------------------------------------------------------
+
+// qaffine is an integer conv or linear stage: int8 weights, uint8
+// activations, int32 accumulation through the batched integer GEMM, and
+// fixed-point requantization onto the compile-time output grid with the
+// fused activation clamp.
+type qaffine struct {
+	label   string
+	buf     int
+	weights []int8           // conv: (outC, kdim); linear: (outC, inF)
+	geom    *tensor.ConvGeom // nil => linear
+	outC    int
+	kdim    int // conv GEMM depth (inC·KH·KW)
+	inF     int // linear input features
+	in, out grid
+	m0      []int32 // per-channel fixed-point multiplier mantissa
+	rsh     []int32 // per-channel right shift
+	corr    []int64 // per-channel int32-domain bias − Z_x·Σq_w
+	nbias   int
+	relu    bool
+}
+
+func (q *qaffine) name() string { return q.label }
+
+func (q *qaffine) sizeBytes() int { return len(q.weights) + 4*q.nbias }
+
+func (q *qaffine) forward(x *qtensor, s *scratch) (*qtensor, error) {
+	if q.geom != nil {
+		return q.conv(x, s)
+	}
+	return q.linear(x, s)
+}
+
+// conv packs the batch with the uint8 im2col (padding with Z_x, which
+// represents exact float zero, so the per-channel correction term is
+// position-independent) and runs one integer GEMM for the whole batch,
+// then requantizes the channel-major accumulator into NCHW.
+func (q *qaffine) conv(x *qtensor, s *scratch) (*qtensor, error) {
+	g := *q.geom
+	if len(x.shape) != 4 || x.shape[1] != g.InC || x.shape[2] != g.InH || x.shape[3] != g.InW {
+		return nil, fmt.Errorf("input %v does not match geometry %+v", x.shape, g)
+	}
+	n := x.dim(0)
+	oh, ow := g.OutHW()
+	sp := oh * ow
+	ns := n * sp
+	cols := s.colsBuf(q.kdim * ns)
+	if err := tensor.Im2ColBatchU8Into(cols, x.data, n, g, uint8(q.in.zero)); err != nil {
+		return nil, err
+	}
+	acc := s.accBuf(q.outC * ns)
+	if err := tensor.MatMulI8U8Into(acc, q.weights, cols, q.outC, q.kdim, ns); err != nil {
+		return nil, err
+	}
+	out := s.act(q.buf, n, q.outC, oh, ow)
+	out.g = q.out
+	if tensor.MaxWorkers() == 1 {
+		for t := 0; t < n*q.outC; t++ {
+			q.requantPlane(acc, out.data, ns, sp, t)
+		}
+		return out, nil
+	}
+	tensor.ParallelFor(n*q.outC, func(t int) { q.requantPlane(acc, out.data, ns, sp, t) })
+	return out, nil
+}
+
+// requantPlane requantizes one (sample, channel) plane of the channel-
+// major conv accumulator into the NCHW output payload.
+func (q *qaffine) requantPlane(acc []int32, dst []uint8, ns, sp, t int) {
+	i, oc := t/q.outC, t%q.outC
+	src := acc[oc*ns+i*sp : oc*ns+(i+1)*sp]
+	row := dst[(i*q.outC+oc)*sp : (i*q.outC+oc+1)*sp]
+	lo := int32(0)
+	if q.relu {
+		lo = q.out.zero
+	}
+	zy := int64(q.out.zero)
+	corr, m0, rsh := q.corr[oc], q.m0[oc], q.rsh[oc]
+	for j, a := range src {
+		row[j] = clampU8(requantize(int64(a)+corr, m0, rsh)+zy, lo)
+	}
+}
+
+// linear runs the batch as one integer GEMM against the transposed weight
+// matrix and requantizes per output feature.
+func (q *qaffine) linear(x *qtensor, s *scratch) (*qtensor, error) {
+	if len(x.shape) != 2 || x.shape[1] != q.inF {
+		return nil, fmt.Errorf("input %v does not match linear (N,%d)", x.shape, q.inF)
+	}
+	n := x.dim(0)
+	acc := s.accBuf(n * q.outC)
+	if err := tensor.MatMulU8I8TransBInto(acc, x.data, q.weights, n, q.inF, q.outC); err != nil {
+		return nil, err
+	}
+	out := s.act(q.buf, n, q.outC)
+	out.g = q.out
+	lo := int32(0)
+	if q.relu {
+		lo = q.out.zero
+	}
+	zy := int64(q.out.zero)
+	for i := 0; i < n; i++ {
+		src := acc[i*q.outC : (i+1)*q.outC]
+		dst := out.data[i*q.outC : (i+1)*q.outC]
+		for o, a := range src {
+			dst[o] = clampU8(requantize(int64(a)+q.corr[o], q.m0[o], q.rsh[o])+zy, lo)
+		}
+	}
+	return out, nil
+}
+
+// qmaxpool is a non-overlapping k×k max pool running directly on the
+// uint8 payload: max commutes with the monotone affine map, so the output
+// stays on the input grid.
+type qmaxpool struct {
+	label string
+	buf   int
+	k     int
+}
+
+func (p *qmaxpool) name() string { return p.label }
+
+func (p *qmaxpool) forward(x *qtensor, s *scratch) (*qtensor, error) {
+	if len(x.shape) != 4 {
+		return nil, fmt.Errorf("%w: maxpool input %v", tensor.ErrShape, x.shape)
+	}
+	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	if h%p.k != 0 || w%p.k != 0 {
+		return nil, fmt.Errorf("%w: maxpool input %dx%d not divisible by window %d", tensor.ErrShape, h, w, p.k)
+	}
+	oh, ow := h/p.k, w/p.k
+	out := s.act(p.buf, n, c, oh, ow)
+	out.g = x.g
+	if tensor.MaxWorkers() == 1 {
+		for t := 0; t < n*c; t++ {
+			p.poolPlane(x.data, out.data, h, w, t)
+		}
+		return out, nil
+	}
+	tensor.ParallelFor(n*c, func(t int) { p.poolPlane(x.data, out.data, h, w, t) })
+	return out, nil
+}
+
+// poolPlane max-pools one channel plane of the uint8 payload.
+func (p *qmaxpool) poolPlane(src, dst []uint8, h, w, t int) {
+	k := p.k
+	oh, ow := h/k, w/k
+	in := src[t*h*w : (t+1)*h*w]
+	out := dst[t*oh*ow : (t+1)*oh*ow]
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			bv := in[oy*k*w+ox*k]
+			for ky := 0; ky < k; ky++ {
+				row := in[(oy*k+ky)*w+ox*k : (oy*k+ky)*w+ox*k+k]
+				for _, v := range row {
+					if v > bv {
+						bv = v
+					}
+				}
+			}
+			out[oy*ow+ox] = bv
+		}
+	}
+}
+
+// qgap is a global average pool on the uint8 payload: the mean of grid
+// points is the grid point of the mean (up to one rounding quantum), so
+// the output stays on the input grid, computed with integer rounding.
+type qgap struct {
+	label string
+	buf   int
+}
+
+func (p *qgap) name() string { return p.label }
+
+func (p *qgap) forward(x *qtensor, s *scratch) (*qtensor, error) {
+	if len(x.shape) != 4 {
+		return nil, fmt.Errorf("%w: gap input %v", tensor.ErrShape, x.shape)
+	}
+	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	plane := h * w
+	out := s.act(p.buf, n, c)
+	out.g = x.g
+	for t := 0; t < n*c; t++ {
+		row := x.data[t*plane : (t+1)*plane]
+		var sum int32
+		for _, v := range row {
+			sum += int32(v)
+		}
+		// Round half up: (2·sum + plane) / (2·plane).
+		out.data[t] = uint8((2*sum + int32(plane)) / int32(2*plane))
+	}
+	return out, nil
+}
+
+// qflatten reshapes (N, C, H, W) to (N, C·H·W) without moving data.
+type qflatten struct {
+	label string
+	buf   int
+}
+
+func (f *qflatten) name() string { return f.label }
+
+func (f *qflatten) forward(x *qtensor, s *scratch) (*qtensor, error) {
+	if len(x.shape) < 2 {
+		return nil, fmt.Errorf("%w: flatten input %v", tensor.ErrShape, x.shape)
+	}
+	n := x.shape[0]
+	return s.actView(f.buf, x, n, x.len()/n), nil
+}
+
+// qresidual joins two lowered branch chains with a requantizing integer
+// add: each branch output rescales onto the block's output grid through
+// its own fixed-point multiplier (M_b = S_b/S_y), and the block ReLU is
+// the clamp at the output zero point.
+type qresidual struct {
+	label    string
+	buf      int
+	main     []qlayer
+	shortcut []qlayer // nil = identity
+	mainZ    int32
+	shortZ   int32
+	out      grid
+	m0Main   int32
+	rshMain  int32
+	m0Short  int32
+	rshShort int32
+	relu     bool
+}
+
+func (r *qresidual) name() string { return r.label }
+
+func (r *qresidual) sizeBytes() int {
+	total := 0
+	for _, l := range append(append([]qlayer{}, r.main...), r.shortcut...) {
+		if s, ok := l.(interface{ sizeBytes() int }); ok {
+			total += s.sizeBytes()
+		}
+	}
+	return total
+}
+
+func (r *qresidual) forward(x *qtensor, s *scratch) (*qtensor, error) {
+	my := x
+	var err error
+	for _, l := range r.main {
+		my, err = l.forward(my, s)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", l.name(), err)
+		}
+	}
+	sy := x
+	for _, l := range r.shortcut {
+		sy, err = l.forward(sy, s)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", l.name(), err)
+		}
+	}
+	if my.len() != sy.len() {
+		return nil, fmt.Errorf("%w: residual branches %v vs %v", tensor.ErrShape, my.shape, sy.shape)
+	}
+	out := s.act(r.buf, my.shape...)
+	out.g = r.out
+	n := my.shape[0]
+	per := my.len() / n
+	if tensor.MaxWorkers() == 1 {
+		for i := 0; i < n; i++ {
+			r.addRow(my.data, sy.data, out.data, per, i)
+		}
+		return out, nil
+	}
+	tensor.ParallelFor(n, func(i int) { r.addRow(my.data, sy.data, out.data, per, i) })
+	return out, nil
+}
+
+// addRow rescales and sums one sample's branch payloads onto the output
+// grid.
+func (r *qresidual) addRow(main, short, dst []uint8, per, i int) {
+	ms := main[i*per : (i+1)*per]
+	ss := short[i*per : (i+1)*per]
+	row := dst[i*per : (i+1)*per]
+	lo := int32(0)
+	if r.relu {
+		lo = r.out.zero
+	}
+	zy := int64(r.out.zero)
+	zm, zs := int64(r.mainZ), int64(r.shortZ)
+	for j := range row {
+		y := requantize(int64(ms[j])-zm, r.m0Main, r.rshMain) +
+			requantize(int64(ss[j])-zs, r.m0Short, r.rshShort) + zy
+		row[j] = clampU8(y, lo)
+	}
 }

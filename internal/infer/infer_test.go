@@ -2,6 +2,7 @@ package infer
 
 import (
 	"math"
+	"sync"
 	"testing"
 
 	"repro/internal/data"
@@ -12,9 +13,9 @@ import (
 	"repro/internal/train"
 )
 
-// trainedSmallCNN trains a small sequential backbone to usable accuracy
-// so integer-vs-float agreement is measured on meaningful predictions.
-func trainedSmallCNN(t *testing.T) (*models.Model, data.Dataset, *tensor.Tensor) {
+// trainedModel trains a backbone to usable accuracy so integer-vs-float
+// agreement is measured on meaningful predictions.
+func trainedModel(t *testing.T, build func(models.Config) (*models.Model, error), epochs int) (*models.Model, data.Dataset, *tensor.Tensor) {
 	t.Helper()
 	tr, te, err := data.NewSynth(data.SynthConfig{
 		Classes: 4, Train: 320, Test: 160, Size: 12, Seed: 21, Noise: 0.3,
@@ -22,23 +23,82 @@ func trainedSmallCNN(t *testing.T) (*models.Model, data.Dataset, *tensor.Tensor)
 	if err != nil {
 		t.Fatalf("NewSynth: %v", err)
 	}
-	m, err := models.SmallCNN(models.Config{Classes: 4, InputSize: 12, Seed: 6})
+	m, err := build(models.Config{Classes: 4, InputSize: 12, Seed: 6})
 	if err != nil {
-		t.Fatalf("SmallCNN: %v", err)
+		t.Fatalf("build model: %v", err)
 	}
 	if _, err := train.Run(train.Config{
-		Model: m, Train: tr, Test: te, BatchSize: 32, Epochs: 4,
+		Model: m, Train: tr, Test: te, BatchSize: 32, Epochs: epochs,
 		Schedule: optim.ConstSchedule(0.05), Momentum: 0.9, Seed: 2,
 	}); err != nil {
 		t.Fatalf("train: %v", err)
 	}
 	// Calibration batch from the training split.
-	calib := tensor.New(32, 3, 12, 12)
-	for i := 0; i < 32; i++ {
-		img, _ := tr.Sample(i)
-		copy(calib.Data()[i*img.Len():(i+1)*img.Len()], img.Data())
+	calib, _, err := data.PackBatch(tr, 32)
+	if err != nil {
+		t.Fatalf("PackBatch: %v", err)
 	}
 	return m, te, calib
+}
+
+// The SmallCNN fixture is shared across tests (training it once keeps the
+// race-detector runs fast); tests must not mutate the model, dataset or
+// calibration batch.
+var (
+	smallOnce  sync.Once
+	smallModel *models.Model
+	smallTest  data.Dataset
+	smallCalib *tensor.Tensor
+)
+
+func trainedSmallCNN(t *testing.T) (*models.Model, data.Dataset, *tensor.Tensor) {
+	t.Helper()
+	smallOnce.Do(func() {
+		smallModel, smallTest, smallCalib = trainedModel(t, models.SmallCNN, 4)
+	})
+	if smallModel == nil {
+		t.Fatal("shared SmallCNN fixture failed to train")
+	}
+	return smallModel, smallTest, smallCalib
+}
+
+// testBatch packs n test samples and their labels.
+func testBatch(t *testing.T, te data.Dataset, n int) (*tensor.Tensor, []int) {
+	t.Helper()
+	x, labels, err := data.PackBatch(te, n)
+	if err != nil {
+		t.Fatalf("PackBatch: %v", err)
+	}
+	return x, labels
+}
+
+// agreement returns the engine-vs-float agreement rate and both accuracy
+// counts.
+func agreement(t *testing.T, m *models.Model, eng *Engine, x *tensor.Tensor, labels []int) (agree float64, floatCorrect, intCorrect int) {
+	t.Helper()
+	floatLogits, err := m.Net.Forward(x, false)
+	if err != nil {
+		t.Fatalf("float forward: %v", err)
+	}
+	intPred, err := eng.Classify(x)
+	if err != nil {
+		t.Fatalf("Classify: %v", err)
+	}
+	n := len(labels)
+	agreeN := 0
+	for i := 0; i < n; i++ {
+		fp := floatLogits.ArgMaxRow(i)
+		if fp == intPred[i] {
+			agreeN++
+		}
+		if fp == labels[i] {
+			floatCorrect++
+		}
+		if intPred[i] == labels[i] {
+			intCorrect++
+		}
+	}
+	return float64(agreeN) / float64(n), floatCorrect, intCorrect
 }
 
 func TestCompileRequiresCalibration(t *testing.T) {
@@ -51,61 +111,276 @@ func TestCompileRequiresCalibration(t *testing.T) {
 	}
 }
 
-func TestCompileRejectsResiduals(t *testing.T) {
-	m, err := models.ResNet20(models.Config{Classes: 4, InputSize: 12, Width: 0.25, Seed: 1})
-	if err != nil {
-		t.Fatalf("ResNet20: %v", err)
-	}
-	calib := tensor.New(2, 3, 12, 12)
-	if _, err := Compile(m, Config{Calibration: calib}); err == nil {
-		t.Error("residual model did not error")
-	}
-}
-
 func TestIntegerEngineMatchesFloatModel(t *testing.T) {
 	m, te, calib := trainedSmallCNN(t)
 	eng, err := Compile(m, Config{Calibration: calib})
 	if err != nil {
 		t.Fatalf("Compile: %v", err)
 	}
-
-	// Batch up the test set.
-	n := 96
-	x := tensor.New(n, 3, 12, 12)
-	labels := make([]int, n)
-	for i := 0; i < n; i++ {
-		img, l := te.Sample(i)
-		copy(x.Data()[i*img.Len():(i+1)*img.Len()], img.Data())
-		labels[i] = l
+	x, labels := testBatch(t, te, 96)
+	agree, floatCorrect, intCorrect := agreement(t, m, eng, x, labels)
+	if agree < 0.85 {
+		t.Errorf("int8 engine agrees with float on %.0f%% of predictions, want >= 85%%", 100*agree)
 	}
-	floatLogits, err := m.Net.Forward(x, false)
+	if float64(intCorrect) < 0.8*float64(floatCorrect) {
+		t.Errorf("int8 accuracy %d/%d collapsed vs float %d/%d", intCorrect, len(labels), floatCorrect, len(labels))
+	}
+}
+
+// The engine must agree with the float model on every supported backbone,
+// including the residual topology the seed rejected at compile time.
+func TestEngineMatchesFloatAcrossBackbones(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping multi-backbone training sweep")
+	}
+	backbones := []struct {
+		name   string
+		build  func(models.Config) (*models.Model, error)
+		epochs int
+		agree  float64
+	}{
+		{"cifarnet", func(cfg models.Config) (*models.Model, error) {
+			cfg.Width = 0.5
+			return models.CifarNet(cfg)
+		}, 3, 0.85},
+		{"vggsmall", func(cfg models.Config) (*models.Model, error) {
+			cfg.Width = 0.25
+			return models.VGGSmall(cfg)
+		}, 3, 0.85},
+		{"resnet20", func(cfg models.Config) (*models.Model, error) {
+			cfg.Width = 0.25
+			return models.ResNet20(cfg)
+		}, 3, 0.75}, // ~20 quantized stages compound more grid error
+	}
+	for _, bb := range backbones {
+		bb := bb
+		t.Run(bb.name, func(t *testing.T) {
+			m, te, calib := trainedModel(t, bb.build, bb.epochs)
+			eng, err := Compile(m, Config{Calibration: calib})
+			if err != nil {
+				t.Fatalf("Compile: %v", err)
+			}
+			x, labels := testBatch(t, te, 96)
+			agree, floatCorrect, intCorrect := agreement(t, m, eng, x, labels)
+			if agree < bb.agree {
+				t.Errorf("agreement %.0f%%, want >= %.0f%%", 100*agree, 100*bb.agree)
+			}
+			if float64(intCorrect) < 0.75*float64(floatCorrect) {
+				t.Errorf("int8 accuracy %d collapsed vs float %d", intCorrect, floatCorrect)
+			}
+		})
+	}
+}
+
+// Per-output-channel weight scales must track the float model at least as
+// tightly as one per-tensor scale — that is the point of carrying a scale
+// per filter.
+func TestPerChannelScalesTightenAgreement(t *testing.T) {
+	m, te, calib := trainedSmallCNN(t)
+	perChan, err := Compile(m, Config{Calibration: calib})
+	if err != nil {
+		t.Fatalf("Compile per-channel: %v", err)
+	}
+	perTensor, err := Compile(m, Config{Calibration: calib, PerTensorWeights: true})
+	if err != nil {
+		t.Fatalf("Compile per-tensor: %v", err)
+	}
+	x, _ := testBatch(t, te, 96)
+	want, err := m.Net.Forward(x, false)
 	if err != nil {
 		t.Fatalf("float forward: %v", err)
 	}
-	intPred, err := eng.Classify(x)
-	if err != nil {
-		t.Fatalf("Classify: %v", err)
+	meanErr := func(e *Engine) float64 {
+		got, err := e.Forward(x)
+		if err != nil {
+			t.Fatalf("Forward: %v", err)
+		}
+		var sum float64
+		for i := range got.Data() {
+			sum += math.Abs(float64(got.Data()[i] - want.Data()[i]))
+		}
+		return sum / float64(got.Len())
 	}
+	ec, et := meanErr(perChan), meanErr(perTensor)
+	if ec >= et {
+		t.Errorf("per-channel mean logit error %v not below per-tensor %v", ec, et)
+	}
+}
 
-	agree := 0
-	floatCorrect, intCorrect := 0, 0
+// Batched inference must be bit-identical to running each sample alone:
+// the micro-batching server depends on batch size never changing results.
+func TestBatchedForwardMatchesPerSample(t *testing.T) {
+	m, te, calib := trainedSmallCNN(t)
+	eng, err := Compile(m, Config{Calibration: calib})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	const n = 16
+	x, _ := testBatch(t, te, n)
+	batched, err := eng.Forward(x)
+	if err != nil {
+		t.Fatalf("batched Forward: %v", err)
+	}
+	per := x.Len() / n
+	classes := batched.Dim(1)
 	for i := 0; i < n; i++ {
-		fp := floatLogits.ArgMaxRow(i)
-		if fp == intPred[i] {
-			agree++
+		one, err := tensor.FromSlice(x.Data()[i*per:(i+1)*per], 1, 3, 12, 12)
+		if err != nil {
+			t.Fatal(err)
 		}
-		if fp == labels[i] {
-			floatCorrect++
+		single, err := eng.Forward(one)
+		if err != nil {
+			t.Fatalf("single Forward: %v", err)
 		}
-		if intPred[i] == labels[i] {
-			intCorrect++
+		for c := 0; c < classes; c++ {
+			if single.At(0, c) != batched.At(i, c) {
+				t.Fatalf("sample %d class %d: single %v != batched %v", i, c, single.At(0, c), batched.At(i, c))
+			}
 		}
 	}
-	if float64(agree)/float64(n) < 0.85 {
-		t.Errorf("int8 engine agrees with float on %d/%d predictions, want >= 85%%", agree, n)
+}
+
+// Concurrent Forward calls on one engine must be race-clean (run with
+// -race) and bit-identical to sequential execution.
+func TestConcurrentForwardMatchesSequential(t *testing.T) {
+	m, te, calib := trainedSmallCNN(t)
+	eng, err := Compile(m, Config{Calibration: calib})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
 	}
-	if float64(intCorrect) < 0.8*float64(floatCorrect) {
-		t.Errorf("int8 accuracy %d/%d collapsed vs float %d/%d", intCorrect, n, floatCorrect, n)
+	const batches, bs = 8, 8
+	inputs := make([]*tensor.Tensor, batches)
+	want := make([]*tensor.Tensor, batches)
+	for b := 0; b < batches; b++ {
+		x := tensor.New(bs, 3, 12, 12)
+		for i := 0; i < bs; i++ {
+			img, _ := te.Sample((b*bs + i) % te.Len())
+			copy(x.Data()[i*img.Len():(i+1)*img.Len()], img.Data())
+		}
+		inputs[b] = x
+		out, err := eng.Forward(x)
+		if err != nil {
+			t.Fatalf("sequential Forward: %v", err)
+		}
+		want[b] = out
+	}
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*batches)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for b := 0; b < batches; b++ {
+				out, err := eng.Forward(inputs[b])
+				if err != nil {
+					errs <- err
+					return
+				}
+				for i := range out.Data() {
+					if out.Data()[i] != want[b].Data()[i] {
+						t.Errorf("batch %d diverged at %d under concurrency", b, i)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("concurrent Forward: %v", err)
+	}
+}
+
+// Steady-state Forward must stay within the alloc budget: the output
+// tensor plus nothing else (scratch is leased, workers pinned to 1 so no
+// ParallelFor jobs are published).
+func TestEngineForwardSteadyStateAllocs(t *testing.T) {
+	prev := tensor.SetMaxWorkers(1)
+	defer tensor.SetMaxWorkers(prev)
+	m, _, calib := trainedSmallCNN(t)
+	eng, err := Compile(m, Config{Calibration: calib})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	x := tensor.New(64, 3, 12, 12)
+	rng := tensor.NewRNG(17)
+	x.FillNormal(rng, 0, 1)
+	// Warm up the scratch arenas at this batch size.
+	if _, err := eng.Forward(x); err != nil {
+		t.Fatalf("warm-up Forward: %v", err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := eng.Forward(x); err != nil {
+			t.Fatalf("Forward: %v", err)
+		}
+	})
+	if allocs > 8 {
+		t.Errorf("Engine.Forward allocates %v objects/op steady-state, want <= 8", allocs)
+	}
+}
+
+// ReLU6 must fold as a clipped rectifier: the calibration graph (and
+// therefore the lowered grids) must apply the upper clamp, not treat the
+// activation as an unbounded ReLU.
+func TestReLU6FoldsWithCap(t *testing.T) {
+	rng := tensor.NewRNG(31)
+	g := tensor.ConvGeom{InC: 2, InH: 6, InW: 6, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	conv, err := nn.NewConv2D(nn.Conv2DConfig{Name: "c", In: g, OutC: 4, RNG: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bn, err := nn.NewBatchNorm2D("bn", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := nn.NewLinear("fc", 4, 3, true, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := nn.NewSequential("relu6net", conv, bn, nn.NewReLU6("r6"), nn.NewGlobalAvgPool("gap"), fc)
+	m := &models.Model{Name: "relu6net", Net: net, InC: 2, InH: 6, InW: 6, Class: 3}
+
+	// Inputs scaled so pre-activations comfortably exceed the cap.
+	x := tensor.New(8, 2, 6, 6)
+	x.FillNormal(rng, 0, 40)
+	want, err := m.Net.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stages, err := foldSequential(m.Layers())
+	if err != nil {
+		t.Fatalf("foldSequential: %v", err)
+	}
+	got := x
+	for _, st := range stages {
+		if got, err = st.floatForward(got); err != nil {
+			t.Fatalf("stage %s: %v", st.label, err)
+		}
+	}
+	for i := range want.Data() {
+		if d := math.Abs(float64(got.Data()[i] - want.Data()[i])); d > 1e-3 {
+			t.Fatalf("folded ReLU6 graph deviates at %d by %v (cap dropped?)", i, d)
+		}
+	}
+	// The compiled engine must agree with the float model bit-for-class.
+	eng, err := Compile(m, Config{Calibration: x})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	logits, err := eng.Forward(x)
+	if err != nil {
+		t.Fatalf("Forward: %v", err)
+	}
+	agreeN := 0
+	for i := 0; i < 8; i++ {
+		if logits.ArgMaxRow(i) == want.ArgMaxRow(i) {
+			agreeN++
+		}
+	}
+	if agreeN < 6 {
+		t.Errorf("relu6 engine agrees on %d/8 predictions", agreeN)
 	}
 }
 
@@ -156,7 +431,7 @@ func TestEngineSizeIsInt8(t *testing.T) {
 		}
 	}
 	size := eng.SizeBytes()
-	// int8 weights plus a few float biases: well under the fp32 total and
+	// int8 weights plus a few int32 biases: well under the fp32 total and
 	// at least one byte per weight element.
 	if size < weightElems || size > 2*weightElems {
 		t.Errorf("engine size %dB for %d weights; want ~1 byte/weight (+biases)", size, weightElems)
@@ -168,9 +443,9 @@ func TestQuantizeDequantizeRoundTrip(t *testing.T) {
 	x := tensor.New(100)
 	x.FillNormal(rng, 0, 1)
 	min, max := x.MinMax()
-	q := quantize(x, min, max)
+	q := quantizeNew(x, min, max)
 	back := q.dequantize()
-	scale := float64(q.scale)
+	scale := float64(q.g.scale)
 	for i := range x.Data() {
 		if math.Abs(float64(x.Data()[i]-back.Data()[i])) > scale {
 			t.Fatalf("round-trip error at %d exceeds one quantum", i)
@@ -190,10 +465,12 @@ func TestMaxPoolCommutesWithQuantization(t *testing.T) {
 	x := tensor.New(1, 2, 4, 4)
 	x.FillNormal(rng, 0, 1)
 	min, max := x.MinMax()
-	q := quantize(x, min, max)
-	got, err := maxPoolInt(q, mp)
+	q := quantizeNew(x, min, max)
+	qp := &qmaxpool{label: "mp", buf: 0, k: mp.Window()}
+	s := newScratch(1)
+	got, err := qp.forward(q, s)
 	if err != nil {
-		t.Fatalf("maxPoolInt: %v", err)
+		t.Fatalf("qmaxpool: %v", err)
 	}
 	want, err := mp.Forward(q.dequantize(), false)
 	if err != nil {
@@ -201,8 +478,35 @@ func TestMaxPoolCommutesWithQuantization(t *testing.T) {
 	}
 	back := got.dequantize()
 	for i := range want.Data() {
-		if math.Abs(float64(want.Data()[i]-back.Data()[i])) > float64(q.scale) {
+		if math.Abs(float64(want.Data()[i]-back.Data()[i])) > float64(q.g.scale) {
 			t.Fatalf("int maxpool deviates at %d", i)
+		}
+	}
+}
+
+// The integer global average pool must match the float mean within one
+// quantum of the shared grid.
+func TestGlobalAvgPoolIntegerMatchesFloat(t *testing.T) {
+	gap := nn.NewGlobalAvgPool("gap")
+	rng := tensor.NewRNG(11)
+	x := tensor.New(2, 3, 4, 4)
+	x.FillNormal(rng, 0, 1)
+	min, max := x.MinMax()
+	q := quantizeNew(x, min, max)
+	qg := &qgap{label: "gap", buf: 0}
+	s := newScratch(1)
+	got, err := qg.forward(q, s)
+	if err != nil {
+		t.Fatalf("qgap: %v", err)
+	}
+	want, err := gap.Forward(q.dequantize(), false)
+	if err != nil {
+		t.Fatalf("float gap: %v", err)
+	}
+	back := got.dequantize()
+	for i := range want.Data() {
+		if math.Abs(float64(want.Data()[i]-back.Data()[i])) > float64(q.g.scale) {
+			t.Fatalf("int gap deviates at %d: %v vs %v", i, back.Data()[i], want.Data()[i])
 		}
 	}
 }

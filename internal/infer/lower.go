@@ -8,272 +8,203 @@ import (
 	"repro/internal/tensor"
 )
 
-// lower converts a calibrated stage into its integer form. outRange is
-// the float range of this stage's output observed during calibration.
-func (st *stage) lower(outRange [2]float32) (qlayer, error) {
-	if st.pass != nil {
-		return &qpass{label: st.label, layer: st.pass}, nil
+// lowerChain converts a calibrated stage list into integer layers,
+// threading the activation grid from one layer to the next (every grid is
+// fixed at compile time, so the forward path never touches float scale
+// arithmetic). nextID allocates scratch buffer slots.
+func lowerChain(stages []*stage, in grid, cfg Config, nextID func() int) ([]qlayer, grid, error) {
+	layers := make([]qlayer, 0, len(stages))
+	g := in
+	for _, st := range stages {
+		ql, out, err := st.lower(g, cfg, nextID)
+		if err != nil {
+			return nil, grid{}, fmt.Errorf("lower %s: %w", st.label, err)
+		}
+		layers = append(layers, ql)
+		g = out
 	}
-	min, max := outRange[0], outRange[1]
+	return layers, g, nil
+}
+
+// lower converts one calibrated stage into its integer form given the
+// input activation grid; it returns the lowered layer and its output grid.
+func (st *stage) lower(in grid, cfg Config, nextID func() int) (qlayer, grid, error) {
+	switch {
+	case st.pass != nil:
+		return lowerPass(st, in, nextID)
+	case st.res != nil:
+		return lowerResidual(st, in, cfg, nextID)
+	default:
+		return lowerAffine(st, in, cfg, nextID)
+	}
+}
+
+// outGrid derives the stage's output grid from its calibrated range, with
+// the fused ReLU pinning the floor at zero.
+func (st *stage) outGrid() grid {
+	min, max := st.outRange[0], st.outRange[1]
 	if st.relu && min < 0 {
 		min = 0
 	}
-	w, wscale := quantizeWeightsSym(st.weight)
-	q := &qaffine{
-		label:   st.label,
-		weights: w,
-		wscale:  wscale,
-		bias:    st.bias,
-		geom:    st.geom,
-		outMin:  min,
-		outMax:  max,
-		relu:    st.relu,
-	}
-	if st.geom == nil {
-		q.outC = st.weight.Dim(0)
-		q.inF = st.weight.Dim(1)
-	} else {
-		q.outC = st.weight.Dim(0)
-	}
-	return q, nil
+	return gridFor(min, max)
 }
 
-// quantizeWeightsSym maps weights onto symmetric int8: w ≈ scale · q with
-// q ∈ [−127, 127] and zero point 0 (the standard weight scheme — a zero
-// zero-point removes the cross terms from the integer GEMM).
+// lowerPass lowers pooling/reshape layers, which stay on the input grid:
+// max commutes with the monotone affine map, the channel mean is computed
+// with integer rounding on the same grid, and flatten moves no data.
+func lowerPass(st *stage, in grid, nextID func() int) (qlayer, grid, error) {
+	switch l := st.pass.(type) {
+	case *nn.MaxPool2D:
+		return &qmaxpool{label: st.label, buf: nextID(), k: l.Window()}, in, nil
+	case *nn.GlobalAvgPool:
+		return &qgap{label: st.label, buf: nextID()}, in, nil
+	case *nn.Flatten:
+		return &qflatten{label: st.label, buf: nextID()}, in, nil
+	default:
+		return nil, grid{}, fmt.Errorf("unsupported passthrough layer %T", st.pass)
+	}
+}
+
+// lowerAffine lowers a folded conv or linear stage: symmetric int8
+// weights (per-output-channel scales unless cfg.PerTensorWeights), int32
+// bias and zero-point corrections folded into one per-channel constant,
+// and the requantization multiplier M = S_x·S_w[oc]/S_y lowered to fixed
+// point.
+func lowerAffine(st *stage, in grid, cfg Config, nextID func() int) (qlayer, grid, error) {
+	out := st.outGrid()
+	outC := st.weight.Dim(0)
+	per := st.weight.Len() / outC
+
+	var weights []int8
+	var wscale []float32
+	if cfg.PerTensorWeights {
+		var s float32
+		weights, s = quantizeWeightsSym(st.weight)
+		wscale = make([]float32, outC)
+		for c := range wscale {
+			wscale[c] = s
+		}
+	} else {
+		weights, wscale = quantizeWeightsPerChannel(st.weight)
+	}
+
+	q := &qaffine{
+		label:   st.label,
+		buf:     nextID(),
+		weights: weights,
+		outC:    outC,
+		in:      in,
+		out:     out,
+		m0:      make([]int32, outC),
+		rsh:     make([]int32, outC),
+		corr:    make([]int64, outC),
+		nbias:   len(st.bias),
+		relu:    st.relu,
+	}
+	if st.geom != nil {
+		q.geom = st.geom
+		q.kdim = per
+	} else {
+		q.inF = per
+	}
+	for c := 0; c < outC; c++ {
+		// Σ q_w for the zero-point correction: with the im2col padding
+		// value equal to Z_x, acc − Z_x·Σq_w is exact at every position.
+		var ksum int64
+		for _, w := range weights[c*per : (c+1)*per] {
+			ksum += int64(w)
+		}
+		sw := float64(in.scale) * float64(wscale[c])
+		q.m0[c], q.rsh[c] = lowerMultiplier(sw / float64(out.scale))
+		biasq := math.Round(float64(st.bias[c]) / sw)
+		if biasq > float64(accClamp) {
+			biasq = float64(accClamp)
+		} else if biasq < -float64(accClamp) {
+			biasq = -float64(accClamp)
+		}
+		q.corr[c] = int64(biasq) - int64(in.zero)*ksum
+	}
+	return q, out, nil
+}
+
+// lowerResidual lowers a residual block: both branch chains recursively,
+// then the joining add as a pair of fixed-point rescales onto the block's
+// output grid.
+func lowerResidual(st *stage, in grid, cfg Config, nextID func() int) (qlayer, grid, error) {
+	main, mainOut, err := lowerChain(st.res.main, in, cfg, nextID)
+	if err != nil {
+		return nil, grid{}, err
+	}
+	r := &qresidual{label: st.label, buf: nextID(), main: main, relu: st.res.relu}
+	shortOut := in
+	if st.res.shortcut != nil {
+		r.shortcut, shortOut, err = lowerChain(st.res.shortcut, in, cfg, nextID)
+		if err != nil {
+			return nil, grid{}, err
+		}
+	}
+	st.relu = st.res.relu // outGrid clamps the floor when the block ReLUs
+	out := st.outGrid()
+	r.mainZ = mainOut.zero
+	r.shortZ = shortOut.zero
+	r.out = out
+	r.m0Main, r.rshMain = lowerMultiplier(float64(mainOut.scale) / float64(out.scale))
+	r.m0Short, r.rshShort = lowerMultiplier(float64(shortOut.scale) / float64(out.scale))
+	return r, out, nil
+}
+
+// quantizeWeightsSym maps weights onto symmetric int8 with one per-tensor
+// scale: w ≈ scale·q with q ∈ [−127, 127] and zero point 0 (a zero zero
+// point removes the cross terms from the integer GEMM).
 func quantizeWeightsSym(w *tensor.Tensor) ([]int8, float32) {
 	min, max := w.MinMax()
 	absMax := float32(math.Max(math.Abs(float64(min)), math.Abs(float64(max))))
+	scale := symScale(absMax)
+	out := make([]int8, w.Len())
+	quantizeRow(out, w.Data(), scale)
+	return out, scale
+}
+
+// quantizeWeightsPerChannel maps weights onto symmetric int8 with one
+// scale per output channel (axis 0). Per-channel scales let every filter
+// use the full int8 range regardless of the widest filter in the tensor,
+// measurably tightening quantized-vs-float agreement.
+func quantizeWeightsPerChannel(w *tensor.Tensor) ([]int8, []float32) {
+	outC := w.Dim(0)
+	per := w.Len() / outC
+	out := make([]int8, w.Len())
+	scales := make([]float32, outC)
+	wd := w.Data()
+	for c := 0; c < outC; c++ {
+		row := wd[c*per : (c+1)*per]
+		var absMax float32
+		for _, v := range row {
+			a := float32(math.Abs(float64(v)))
+			if a > absMax {
+				absMax = a
+			}
+		}
+		scales[c] = symScale(absMax)
+		quantizeRow(out[c*per:(c+1)*per], row, scales[c])
+	}
+	return out, scales
+}
+
+func symScale(absMax float32) float32 {
 	if absMax == 0 {
 		absMax = 1e-6
 	}
-	scale := absMax / 127
-	out := make([]int8, w.Len())
-	for i, v := range w.Data() {
+	return absMax / 127
+}
+
+func quantizeRow(dst []int8, src []float32, scale float32) {
+	for i, v := range src {
 		q := math.Round(float64(v) / float64(scale))
 		if q > 127 {
 			q = 127
 		} else if q < -127 {
 			q = -127
 		}
-		out[i] = int8(q)
+		dst[i] = int8(q)
 	}
-	return out, scale
-}
-
-// qaffine is an integer conv or linear stage: int8 weights, uint8
-// activations, int32 accumulation, requantization to the calibrated
-// output grid with the fused activation clamp.
-type qaffine struct {
-	label   string
-	weights []int8
-	wscale  float32
-	bias    []float32
-	geom    *tensor.ConvGeom // nil => linear
-	outC    int
-	inF     int // linear input features
-	outMin  float32
-	outMax  float32
-	relu    bool
-}
-
-func (q *qaffine) name() string { return q.label }
-
-func (q *qaffine) sizeBytes() int { return len(q.weights) + 4*len(q.bias) }
-
-func (q *qaffine) forward(x *qtensor) (*qtensor, error) {
-	if q.geom != nil {
-		return q.conv(x)
-	}
-	return q.linear(x)
-}
-
-// outGrid prepares the output quantization parameters.
-func (q *qaffine) outGrid() (scale float32, zero int32) {
-	min, max := q.outMin, q.outMax
-	if min > 0 {
-		min = 0
-	}
-	if max <= min {
-		max = min + 1e-3
-	}
-	scale = (max - min) / 255
-	zero = int32(math.Round(float64(-min) / float64(scale)))
-	return scale, zero
-}
-
-// requant maps an int32 accumulator to the output uint8 grid:
-// y_q = clamp( round(M·(acc − corrections)) + Z_y ) with
-// M = S_x·S_w/S_y; the bias is folded in float for clarity.
-func requant(acc int32, m float64, bias float32, yscale float32, yzero int32, relu bool) uint8 {
-	f := float64(acc)*m + float64(bias)
-	if relu && f < 0 {
-		f = 0
-	}
-	y := math.Round(f/float64(yscale)) + float64(yzero)
-	if y < 0 {
-		y = 0
-	} else if y > 255 {
-		y = 255
-	}
-	return uint8(y)
-}
-
-func (q *qaffine) conv(x *qtensor) (*qtensor, error) {
-	g := *q.geom
-	if len(x.shape) != 4 || x.shape[1] != g.InC || x.shape[2] != g.InH || x.shape[3] != g.InW {
-		return nil, fmt.Errorf("input %v does not match geometry %+v", x.shape, g)
-	}
-	n := x.shape[0]
-	oh, ow := g.OutHW()
-	yscale, yzero := q.outGrid()
-	out := &qtensor{shape: []int{n, q.outC, oh, ow}, data: make([]uint8, n*q.outC*oh*ow), scale: yscale, zero: yzero}
-	m := float64(x.scale) * float64(q.wscale)
-	kArea := g.KH * g.KW
-	inPlane := g.InH * g.InW
-	for b := 0; b < n; b++ {
-		src := x.data[b*g.InC*inPlane : (b+1)*g.InC*inPlane]
-		for oc := 0; oc < q.outC; oc++ {
-			ker := q.weights[oc*g.InC*kArea : (oc+1)*g.InC*kArea]
-			// Integer-only inner loops: acc accumulates q_w·(q_x − Z_x)
-			// via the expanded form Σ q_w·q_x − Z_x·Σ q_w.
-			var kerSum int32
-			for _, w := range ker {
-				kerSum += int32(w)
-			}
-			for oy := 0; oy < oh; oy++ {
-				for ox := 0; ox < ow; ox++ {
-					var acc int32
-					var taps int32 // zero-padding contributes Z_x-relative zeros
-					for c := 0; c < g.InC; c++ {
-						for ky := 0; ky < g.KH; ky++ {
-							iy := oy*g.Stride + ky - g.Pad
-							if iy < 0 || iy >= g.InH {
-								continue
-							}
-							rowOff := c*inPlane + iy*g.InW
-							kerOff := c*kArea + ky*g.KW
-							for kx := 0; kx < g.KW; kx++ {
-								ix := ox*g.Stride + kx - g.Pad
-								if ix < 0 || ix >= g.InW {
-									continue
-								}
-								acc += int32(ker[kerOff+kx]) * int32(src[rowOff+ix])
-								taps++
-							}
-						}
-					}
-					// Subtract the zero-point term for in-bounds taps; the
-					// zero-padded taps encode exact float zero, which the
-					// affine input grid represents as q = Z_x, so padding
-					// contributes nothing after the correction — but only
-					// the in-bounds kernel sum must be corrected.
-					var inKerSum int32
-					if taps == int32(g.InC*kArea) {
-						inKerSum = kerSum
-					} else {
-						inKerSum = q.kernelSumInBounds(oc, oy, ox, g)
-					}
-					acc -= x.zero * inKerSum
-					out.data[((b*q.outC+oc)*oh+oy)*ow+ox] =
-						requant(acc, m, q.bias[oc], yscale, yzero, q.relu)
-				}
-			}
-		}
-	}
-	return out, nil
-}
-
-// kernelSumInBounds recomputes Σ q_w over the in-bounds taps of a border
-// position.
-func (q *qaffine) kernelSumInBounds(oc, oy, ox int, g tensor.ConvGeom) int32 {
-	kArea := g.KH * g.KW
-	ker := q.weights[oc*g.InC*kArea : (oc+1)*g.InC*kArea]
-	var s int32
-	for c := 0; c < g.InC; c++ {
-		for ky := 0; ky < g.KH; ky++ {
-			iy := oy*g.Stride + ky - g.Pad
-			if iy < 0 || iy >= g.InH {
-				continue
-			}
-			for kx := 0; kx < g.KW; kx++ {
-				ix := ox*g.Stride + kx - g.Pad
-				if ix < 0 || ix >= g.InW {
-					continue
-				}
-				s += int32(ker[c*kArea+ky*g.KW+kx])
-			}
-		}
-	}
-	return s
-}
-
-func (q *qaffine) linear(x *qtensor) (*qtensor, error) {
-	if len(x.shape) != 2 || x.shape[1] != q.inF {
-		return nil, fmt.Errorf("input %v does not match linear (N,%d)", x.shape, q.inF)
-	}
-	n := x.shape[0]
-	yscale, yzero := q.outGrid()
-	out := &qtensor{shape: []int{n, q.outC}, data: make([]uint8, n*q.outC), scale: yscale, zero: yzero}
-	m := float64(x.scale) * float64(q.wscale)
-	for b := 0; b < n; b++ {
-		row := x.data[b*q.inF : (b+1)*q.inF]
-		for o := 0; o < q.outC; o++ {
-			w := q.weights[o*q.inF : (o+1)*q.inF]
-			var acc, wsum int32
-			for j, wv := range w {
-				acc += int32(wv) * int32(row[j])
-				wsum += int32(wv)
-			}
-			acc -= x.zero * wsum
-			out.data[b*q.outC+o] = requant(acc, m, q.bias[o], yscale, yzero, q.relu)
-		}
-	}
-	return out, nil
-}
-
-// qpass runs a pooling/reshape layer in the integer domain. MaxPool
-// commutes with the monotone affine map so it runs directly on the uint8
-// payload; GlobalAvgPool and Flatten round-trip through float (averaging
-// is exact in int only up to rounding; the float detour is the reference
-// behaviour and these layers are a negligible fraction of compute).
-type qpass struct {
-	label string
-	layer nn.Layer
-}
-
-func (p *qpass) name() string { return p.label }
-
-func (p *qpass) forward(x *qtensor) (*qtensor, error) {
-	if mp, ok := p.layer.(*nn.MaxPool2D); ok {
-		return maxPoolInt(x, mp)
-	}
-	f := x.dequantize()
-	out, err := p.layer.Forward(f, false)
-	if err != nil {
-		return nil, err
-	}
-	min, max := out.MinMax()
-	return quantize(out, min, max), nil
-}
-
-func maxPoolInt(x *qtensor, mp *nn.MaxPool2D) (*qtensor, error) {
-	// Re-run the float layer's geometry logic directly on uint8 — max is
-	// order-preserving under the affine map.
-	f := x.dequantize()
-	out, err := mp.Forward(f, false)
-	if err != nil {
-		return nil, err
-	}
-	q := &qtensor{shape: out.Shape(), data: make([]uint8, out.Len()), scale: x.scale, zero: x.zero}
-	for i, v := range out.Data() {
-		y := math.Round(float64(v)/float64(x.scale)) + float64(x.zero)
-		if y < 0 {
-			y = 0
-		} else if y > 255 {
-			y = 255
-		}
-		q.data[i] = uint8(y)
-	}
-	return q, nil
 }

@@ -40,28 +40,117 @@ func TestQuantizeWeightsSymDegenerate(t *testing.T) {
 	}
 }
 
-func TestRequantClampsAndRounds(t *testing.T) {
-	// acc*m + bias maps into the output grid with zero point.
-	got := requant(100, 0.01, 0.5, 0.1, 10, false)
-	// f = 1.0 + 0.5 = 1.5; y = round(1.5/0.1) + 10 = 25
-	if got != 25 {
-		t.Errorf("requant = %d, want 25", got)
+// Per-channel scales must reconstruct a tensor with heterogeneous channel
+// magnitudes strictly tighter than the single per-tensor scale: the small
+// channels get their own fine grid instead of the widest channel's.
+func TestQuantizeWeightsPerChannelTighter(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	const outC, per = 8, 32
+	w := tensor.New(outC, per)
+	w.FillNormal(rng, 0, 1)
+	wd := w.Data()
+	for c := 0; c < outC; c++ {
+		// Channel magnitudes spanning two orders of magnitude.
+		mag := float32(math.Pow(10, float64(c)/3.5-1))
+		for j := 0; j < per; j++ {
+			wd[c*per+j] *= mag
+		}
 	}
-	// ReLU clamp applies before the grid mapping.
-	if got := requant(-1000, 0.01, 0, 0.1, 10, true); got != 10 {
-		t.Errorf("relu requant = %d, want zero point 10", got)
+	qt, st := quantizeWeightsSym(w)
+	qc, sc := quantizeWeightsPerChannel(w)
+	if len(sc) != outC {
+		t.Fatalf("per-channel scales = %d, want %d", len(sc), outC)
 	}
-	// Saturation at the uint8 bounds.
-	if got := requant(1<<30, 1, 0, 0.1, 0, false); got != 255 {
-		t.Errorf("overflow requant = %d, want 255", got)
+	errAt := func(q []int8, scale float32, i int) float64 {
+		return math.Abs(float64(scale)*float64(q[i]) - float64(wd[i]))
 	}
-	if got := requant(-(1 << 30), 1, 0, 0.1, 0, false); got != 0 {
-		t.Errorf("underflow requant = %d, want 0", got)
+	var sumT, sumC float64
+	for c := 0; c < outC; c++ {
+		for j := 0; j < per; j++ {
+			i := c*per + j
+			sumT += errAt(qt, st, i)
+			sumC += errAt(qc, sc[c], i)
+		}
+	}
+	if sumC >= sumT/2 {
+		t.Errorf("per-channel reconstruction error %v not well below per-tensor %v", sumC, sumT)
 	}
 }
 
-// Property: the integer linear stage matches a float matmul within the
-// combined quantization error budget for random small problems.
+// A range observed entirely below zero must still produce a grid whose
+// zero point fits in uint8 and encodes float 0 exactly (it becomes the
+// im2col padding byte).
+func TestGridForNegativeOnlyRange(t *testing.T) {
+	for _, r := range [][2]float32{{-1.0, -0.1}, {-3, -2.5}, {0.2, 0.9}, {-0.5, 0.5}} {
+		g := gridFor(r[0], r[1])
+		if g.zero < 0 || g.zero > 255 {
+			t.Errorf("gridFor(%v) zero point %d outside uint8", r, g.zero)
+		}
+		if q := g.quantize(0); int32(q) != g.zero {
+			t.Errorf("gridFor(%v): quantize(0) = %d, want zero point %d", r, q, g.zero)
+		}
+	}
+}
+
+// lowerMultiplier must satisfy requantize(acc, m0, rsh) ≈ round(acc·m)
+// across magnitudes spanning the multipliers real grids produce.
+func TestLowerMultiplierRoundTrip(t *testing.T) {
+	ms := []float64{1e-6, 3.7e-4, 0.0021, 0.04, 0.5, 0.9999, 1.0, 3.25, 117.0}
+	accs := []int64{0, 1, -1, 7, -13, 100, -255, 1 << 15, -(1 << 20), 1 << 28}
+	for _, m := range ms {
+		m0, rsh := lowerMultiplier(m)
+		for _, a := range accs {
+			got := requantize(a, m0, rsh)
+			want := float64(a) * m
+			// One unit of slack plus the Q31 mantissa's relative error.
+			tol := 1.0 + math.Abs(want)*1e-8
+			if math.Abs(float64(got)-want) > tol {
+				t.Errorf("m=%v acc=%d: requantize = %d, want ~%v", m, a, got, want)
+			}
+		}
+	}
+}
+
+func TestLowerMultiplierDegenerate(t *testing.T) {
+	if m0, _ := lowerMultiplier(0); m0 != 0 {
+		t.Errorf("m=0 lowered to m0=%d", m0)
+	}
+	if m0, _ := lowerMultiplier(-1); m0 != 0 {
+		t.Errorf("m<0 lowered to m0=%d", m0)
+	}
+	if m0, _ := lowerMultiplier(math.NaN()); m0 != 0 {
+		t.Errorf("NaN lowered to m0=%d", m0)
+	}
+	// Absurdly small multipliers requantize everything to zero.
+	m0, rsh := lowerMultiplier(1e-12)
+	if got := requantize(1<<28, m0, rsh); got != 0 {
+		t.Errorf("tiny multiplier requantized %d", got)
+	}
+}
+
+func TestRequantizeSaturates(t *testing.T) {
+	m0, rsh := lowerMultiplier(1.0)
+	// Accumulators beyond ±2^31 clamp instead of overflowing the product.
+	big := int64(1) << 40
+	if got := requantize(big, m0, rsh); got < (1<<31)-2 || got > (1<<31)+1 {
+		t.Errorf("overflowing acc requantized to %d", got)
+	}
+	if got := requantize(-big, m0, rsh); got > -(1<<31)+2 || got < -(1<<31)-1 {
+		t.Errorf("underflowing acc requantized to %d", got)
+	}
+	if got := clampU8(300, 0); got != 255 {
+		t.Errorf("clampU8(300) = %d", got)
+	}
+	if got := clampU8(-7, 0); got != 0 {
+		t.Errorf("clampU8(-7) = %d", got)
+	}
+	if got := clampU8(3, 12); got != 12 {
+		t.Errorf("clampU8 below ReLU floor = %d, want 12", got)
+	}
+}
+
+// Property: a lowered linear stage matches the float affine map within
+// the combined quantization error budget for random small problems.
 func TestIntegerLinearMatchesFloatProperty(t *testing.T) {
 	f := func(seed uint64) bool {
 		rng := tensor.NewRNG(seed)
@@ -88,22 +177,26 @@ func TestIntegerLinearMatchesFloatProperty(t *testing.T) {
 		}
 		wmin, wmax := want.MinMax()
 
-		qw, wscale := quantizeWeightsSym(w)
-		q := &qaffine{
-			label: "lin", weights: qw, wscale: wscale, bias: bias,
-			outC: outF, inF: inF, outMin: wmin, outMax: wmax,
-		}
+		st := &stage{label: "lin", weight: w, bias: bias, outRange: [2]float32{wmin, wmax}}
 		xmin, xmax := x.MinMax()
-		qx := quantize(x, xmin, xmax)
-		out, err := q.forward(qx)
+		in := gridFor(xmin, xmax)
+		id := 0
+		ql, outG, err := st.lower(in, Config{}, func() int { i := id; id++; return i })
+		if err != nil {
+			return false
+		}
+		s := newScratch(id)
+		qx := &qtensor{}
+		quantizeInto(qx, x, in)
+		out, err := ql.forward(qx, s)
 		if err != nil {
 			return false
 		}
 		back := out.dequantize()
 		// Error budget: input quantum propagated through the weights plus
-		// one output quantum.
-		inBudget := float64(qx.scale) * float64(inF) * 0.6
-		outBudget := float64(out.scale)
+		// output quanta.
+		inBudget := float64(in.scale) * float64(inF) * 0.6
+		outBudget := float64(outG.scale)
 		for i := range back.Data() {
 			if math.Abs(float64(back.Data()[i]-want.Data()[i])) > inBudget+2*outBudget+1e-3 {
 				return false

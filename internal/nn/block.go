@@ -94,6 +94,16 @@ func (r *Residual) Params() []*Param {
 	return ps
 }
 
+// Main returns the block's main branch.
+func (r *Residual) Main() Layer { return r.main }
+
+// Shortcut returns the block's shortcut branch, nil for identity.
+func (r *Residual) Shortcut() Layer { return r.shortcut }
+
+// WithReLU reports whether the block applies an output ReLU after the
+// add (false for MobileNetV2-style linear bottlenecks).
+func (r *Residual) WithReLU() bool { return r.withReLU }
+
 // Inner returns the block's constituent layers (main branch, then the
 // shortcut when present) so cost accounting can recurse to per-layer
 // bitwidths.

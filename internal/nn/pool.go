@@ -100,6 +100,9 @@ func NewMaxPool2D(name string, k int) (*MaxPool2D, error) {
 // Name implements Layer.
 func (p *MaxPool2D) Name() string { return p.name }
 
+// Window returns the pooling window size (stride equals the window).
+func (p *MaxPool2D) Window() int { return p.k }
+
 // Params implements Layer.
 func (p *MaxPool2D) Params() []*Param { return nil }
 

@@ -1,0 +1,153 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"repro/internal/tensor"
+)
+
+// HTTP surface: POST /classify, GET /healthz, GET /stats.
+//
+// /classify accepts one sample or a list; each sample travels through the
+// micro-batching queue individually, so concurrent clients (and the
+// samples of one multi-sample request) coalesce into shared engine
+// batches:
+//
+//	{"input": [c·h·w floats]}        -> {"class": 3}
+//	{"inputs": [[...], [...], ...]}  -> {"classes": [3, 1]}
+//
+// A full queue answers 503 (backpressure; clients retry), a bad payload
+// 400, an engine failure 500. Admission is bounded before the queue is
+// ever touched: request bodies are capped at maxBodyBytes and one
+// request may carry at most maxInputsPerRequest samples, so an oversized
+// POST cannot sidestep the queue's backpressure by sheer payload size.
+
+const (
+	// maxBodyBytes bounds a /classify request body (64 MiB ≈ a
+	// 1024-sample batch of 128×128 RGB floats with JSON overhead).
+	maxBodyBytes = 64 << 20
+	// maxInputsPerRequest bounds the samples one request may fan out
+	// into the queue.
+	maxInputsPerRequest = 1024
+)
+
+// classifyRequest is the /classify payload.
+type classifyRequest struct {
+	Input  []float32   `json:"input,omitempty"`
+	Inputs [][]float32 `json:"inputs,omitempty"`
+}
+
+type classifyResponse struct {
+	Class   *int  `json:"class,omitempty"`
+	Classes []int `json:"classes,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the HTTP mux for the server.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/classify", s.handleClassify)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req classifyRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	switch {
+	case req.Input != nil && req.Inputs != nil:
+		httpError(w, http.StatusBadRequest, `pass either "input" or "inputs", not both`)
+	case len(req.Inputs) > maxInputsPerRequest:
+		httpError(w, http.StatusBadRequest,
+			fmt.Sprintf("request carries %d samples, max %d per request", len(req.Inputs), maxInputsPerRequest))
+	case req.Input != nil:
+		class, err := s.Classify(req.Input)
+		if err != nil {
+			httpError(w, statusFor(err), err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, classifyResponse{Class: &class})
+	case req.Inputs != nil:
+		classes, err := s.classifyMany(req.Inputs)
+		if err != nil {
+			httpError(w, statusFor(err), err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, classifyResponse{Classes: classes})
+	default:
+		httpError(w, http.StatusBadRequest, `missing "input" or "inputs"`)
+	}
+}
+
+// classifyMany submits every sample concurrently so they can share
+// micro-batches; the first error wins.
+func (s *Server) classifyMany(inputs [][]float32) ([]int, error) {
+	classes := make([]int, len(inputs))
+	errs := make([]error, len(inputs))
+	var wg sync.WaitGroup
+	wg.Add(len(inputs))
+	for i := range inputs {
+		go func(i int) {
+			defer wg.Done()
+			classes[i], errs[i] = s.Classify(inputs[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return classes, nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// statusFor maps service errors onto HTTP statuses.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, tensor.ErrShape):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, errorResponse{Error: msg})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

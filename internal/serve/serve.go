@@ -1,0 +1,317 @@
+// Package serve turns a compiled inference engine into a concurrent
+// classification service with dynamic micro-batching — the serving tier
+// of the deployment story: the paper's integer quantization scheme was
+// chosen for efficient inference, and efficient inference under load
+// means batching many callers' samples into one integer GEMM.
+//
+// # Batching policy
+//
+// Requests enter one bounded queue. Each worker goroutine (one per engine
+// replica lease) blocks for a first request, then keeps gathering until
+// either the batch holds MaxBatch samples or MaxDelay has elapsed since
+// the batch opened — the standard latency/throughput knob pair: MaxDelay
+// bounds the extra latency the first request of a batch can pay, MaxBatch
+// bounds how much work one GEMM fuses. A batch never waits for more than
+// MaxDelay and never waits at all while the queue is non-empty and full
+// batches are available. Batched execution is bit-identical to running
+// each sample alone (the engine's integer arithmetic is batch-invariant),
+// so batching is purely a throughput optimization.
+//
+// # Backpressure
+//
+// The queue is bounded at QueueCap. When it is full, Classify (and the
+// HTTP /classify endpoint) fail fast with ErrOverloaded instead of
+// queueing unboundedly — callers see 503 and retry against a healthy
+// replica rather than stacking latency. Rejected requests are counted in
+// Stats.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/tensor"
+)
+
+// Classifier is the engine-side contract: batched argmax classification.
+// *infer.Engine satisfies it; tests inject stubs.
+type Classifier interface {
+	Classify(x *tensor.Tensor) ([]int, error)
+}
+
+// ErrOverloaded is returned when the request queue is full (backpressure:
+// fail fast, let the caller retry or shed load).
+var ErrOverloaded = errors.New("serve: queue full")
+
+// ErrClosed is returned for requests submitted after Close.
+var ErrClosed = errors.New("serve: server closed")
+
+// Config configures New.
+type Config struct {
+	// Engine classifies packed (N, C, H, W) batches. It must be safe for
+	// concurrent calls when Workers > 1 (infer.Engine is).
+	Engine Classifier
+	// InC, InH, InW is the per-sample input geometry. When all three are
+	// zero and the engine reports its own geometry (infer.Engine does,
+	// via InputShape), it is taken from the engine.
+	InC, InH, InW int
+	// Workers is the number of batching worker goroutines (engine
+	// replicas served from the engine's scratch pool). Default 1.
+	Workers int
+	// MaxBatch is the largest batch one worker fuses. Default 32.
+	MaxBatch int
+	// MaxDelay is how long an open batch waits for more requests before
+	// running. 0 runs greedily (batch = whatever is queued). Default 2ms.
+	MaxDelay time.Duration
+	// QueueCap bounds the request queue; a full queue rejects with
+	// ErrOverloaded. Default 4·MaxBatch·Workers.
+	QueueCap int
+}
+
+// request is one queued sample.
+type request struct {
+	img  []float32
+	resp chan response
+	enq  time.Time
+}
+
+type response struct {
+	class int
+	err   error
+}
+
+// Server is a micro-batching classification server.
+type Server struct {
+	cfg    Config
+	sample int
+	queue  chan *request
+
+	mu     sync.RWMutex // guards closed vs. queue sends
+	closed bool
+
+	wg    sync.WaitGroup
+	start time.Time
+
+	requests atomic.Uint64
+	batches  atomic.Uint64
+	rejected atomic.Uint64
+	errored  atomic.Uint64
+
+	latMu  sync.Mutex
+	lat    [4096]int64 // ns, ring buffer
+	latN   int
+	latPos int
+}
+
+// New validates the configuration and starts the worker goroutines.
+func New(cfg Config) (*Server, error) {
+	if cfg.Engine == nil {
+		return nil, fmt.Errorf("serve: Engine is required")
+	}
+	if cfg.InC == 0 && cfg.InH == 0 && cfg.InW == 0 {
+		if shaped, ok := cfg.Engine.(interface{ InputShape() (c, h, w int) }); ok {
+			cfg.InC, cfg.InH, cfg.InW = shaped.InputShape()
+		}
+	}
+	if cfg.InC <= 0 || cfg.InH <= 0 || cfg.InW <= 0 {
+		return nil, fmt.Errorf("serve: input geometry (%d,%d,%d) must be positive", cfg.InC, cfg.InH, cfg.InW)
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 32
+	}
+	if cfg.MaxDelay < 0 {
+		return nil, fmt.Errorf("serve: negative MaxDelay")
+	}
+	if cfg.MaxDelay == 0 {
+		cfg.MaxDelay = 2 * time.Millisecond
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 4 * cfg.MaxBatch * cfg.Workers
+	}
+	s := &Server{
+		cfg:    cfg,
+		sample: cfg.InC * cfg.InH * cfg.InW,
+		queue:  make(chan *request, cfg.QueueCap),
+		start:  time.Now(),
+	}
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Classify submits one CHW sample and blocks until its micro-batch has
+// run. It returns ErrOverloaded immediately when the queue is full. The
+// sample slice is read until the call returns; the caller keeps ownership
+// afterwards.
+func (s *Server) Classify(img []float32) (int, error) {
+	if len(img) != s.sample {
+		return 0, fmt.Errorf("serve: %w: sample has %d values, want %d (C·H·W = %d·%d·%d)",
+			tensor.ErrShape, len(img), s.sample, s.cfg.InC, s.cfg.InH, s.cfg.InW)
+	}
+	req := &request{img: img, resp: make(chan response, 1), enq: time.Now()}
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return 0, ErrClosed
+	}
+	select {
+	case s.queue <- req:
+		s.mu.RUnlock()
+	default:
+		s.mu.RUnlock()
+		s.rejected.Add(1)
+		return 0, ErrOverloaded
+	}
+	r := <-req.resp
+	return r.class, r.err
+}
+
+// Close stops accepting requests, drains the queue, and waits for the
+// workers to finish their in-flight batches.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.queue)
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// worker is one batching loop: block for a request, gather until the
+// batch is full or MaxDelay elapses, run the engine once for the whole
+// batch, deliver per-request results.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	batch := make([]*request, 0, s.cfg.MaxBatch)
+	buf := make([]float32, s.cfg.MaxBatch*s.sample)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		first, ok := <-s.queue
+		if !ok {
+			return
+		}
+		batch = append(batch[:0], first)
+		timer.Reset(s.cfg.MaxDelay)
+		fired := false
+	gather:
+		for len(batch) < s.cfg.MaxBatch {
+			select {
+			case req, ok := <-s.queue:
+				if !ok {
+					break gather // closed: run what we have
+				}
+				batch = append(batch, req)
+			case <-timer.C:
+				fired = true
+				break gather
+			}
+		}
+		if !fired && !timer.Stop() {
+			<-timer.C
+		}
+		s.runBatch(batch, buf)
+	}
+}
+
+// runBatch packs the gathered samples into one tensor, classifies them
+// with a single engine call, and answers every request.
+func (s *Server) runBatch(batch []*request, buf []float32) {
+	n := len(batch)
+	for i, req := range batch {
+		copy(buf[i*s.sample:(i+1)*s.sample], req.img)
+	}
+	x, err := tensor.FromSlice(buf[:n*s.sample], n, s.cfg.InC, s.cfg.InH, s.cfg.InW)
+	var preds []int
+	if err == nil {
+		preds, err = s.cfg.Engine.Classify(x)
+		if err == nil && len(preds) != n {
+			err = fmt.Errorf("serve: engine returned %d predictions for %d samples", len(preds), n)
+		}
+	}
+	done := time.Now()
+	s.batches.Add(1)
+	s.requests.Add(uint64(n))
+	if err != nil {
+		s.errored.Add(uint64(n))
+	}
+	s.latMu.Lock()
+	for _, req := range batch {
+		s.lat[s.latPos] = done.Sub(req.enq).Nanoseconds()
+		s.latPos = (s.latPos + 1) % len(s.lat)
+		if s.latN < len(s.lat) {
+			s.latN++
+		}
+	}
+	s.latMu.Unlock()
+	for i, req := range batch {
+		if err != nil {
+			req.resp <- response{err: err}
+			continue
+		}
+		req.resp <- response{class: preds[i]}
+	}
+}
+
+// Stats is a snapshot of the server's counters.
+type Stats struct {
+	Requests uint64 `json:"requests"`
+	Batches  uint64 `json:"batches"`
+	Rejected uint64 `json:"rejected"`
+	Errored  uint64 `json:"errored"`
+	// MeanBatch is requests per engine call — the batching win.
+	MeanBatch float64 `json:"mean_batch"`
+	// P50/P99 request latency (queue wait + inference) over a sliding
+	// window of recent requests, in milliseconds.
+	P50Ms float64 `json:"p50_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	// Throughput is requests served per second of uptime.
+	Throughput float64 `json:"throughput_rps"`
+	UptimeSec  float64 `json:"uptime_sec"`
+}
+
+// Stats returns a snapshot of the server counters and latency quantiles.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		Requests: s.requests.Load(),
+		Batches:  s.batches.Load(),
+		Rejected: s.rejected.Load(),
+		Errored:  s.errored.Load(),
+	}
+	if st.Batches > 0 {
+		st.MeanBatch = float64(st.Requests) / float64(st.Batches)
+	}
+	up := time.Since(s.start).Seconds()
+	st.UptimeSec = up
+	if up > 0 {
+		st.Throughput = float64(st.Requests) / up
+	}
+	s.latMu.Lock()
+	window := make([]int64, s.latN)
+	if s.latN == len(s.lat) {
+		copy(window, s.lat[:])
+	} else {
+		copy(window, s.lat[:s.latN])
+	}
+	s.latMu.Unlock()
+	if len(window) > 0 {
+		sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+		st.P50Ms = float64(window[len(window)/2]) / 1e6
+		st.P99Ms = float64(window[len(window)*99/100]) / 1e6
+	}
+	return st
+}

@@ -1,0 +1,287 @@
+package tensor
+
+import "fmt"
+
+// Integer GEMM kernels for the int8 inference engine. The affine
+// quantization scheme (r = S(q − Z), Jacob et al., CVPR 2018) turns every
+// conv and linear layer into a uint8×int8 matrix product accumulated in
+// int32; these kernels are the integer mirror of the float GEMMs in
+// matmul.go — the same (8-row × column-block) output tiling, the same
+// 4-way-unrolled AXPY/dot inner loops, and the same ParallelFor task
+// decomposition, so an integer GEMM is bit-identical for any worker count.
+//
+// Operands are raw slices (the tensor type is float32-only); shapes are
+// passed explicitly and validated against slice lengths. There is no
+// assembly path: the portable loops keep the multiply-accumulate in int32,
+// which Go compiles to clean scalar code on every architecture.
+//
+// Each kernel dispatches its block body through a named helper and runs a
+// plain serial loop when the worker bound is 1: the inference engine's
+// zero-allocation contract counts on the serial path creating no
+// ParallelFor closures (a closure passed to ParallelFor escapes to the
+// heap; a direct call does not).
+
+// checkGEMMInt validates that the slices cover the requested shapes.
+func checkGEMMInt(op string, lenDst, lenA, lenB, m, k, n int) error {
+	if m <= 0 || k <= 0 || n <= 0 {
+		return fmt.Errorf("%w: %s dims (%d,%d,%d) must be positive", ErrShape, op, m, k, n)
+	}
+	if lenA < m*k {
+		return fmt.Errorf("%w: %s operand a has %d elements, want >= %d", ErrShape, op, lenA, m*k)
+	}
+	if lenB < k*n {
+		return fmt.Errorf("%w: %s operand b has %d elements, want >= %d", ErrShape, op, lenB, k*n)
+	}
+	if lenDst < m*n {
+		return fmt.Errorf("%w: %s destination has %d elements, want >= %d", ErrShape, op, lenDst, m*n)
+	}
+	return nil
+}
+
+// MatMulU8I8Into computes dst = a·b where a is a row-major uint8 (m, k)
+// matrix (quantized activations), b is a row-major int8 (k, n) matrix and
+// dst accumulates in int32. dst is fully overwritten and must not alias
+// the operands.
+func MatMulU8I8Into(dst []int32, a []uint8, b []int8, m, k, n int) error {
+	if err := checkGEMMInt("matmulU8I8", len(dst), len(a), len(b), m, k, n); err != nil {
+		return err
+	}
+	mb, nb := blocks(m, gemmRowBlock), blocks(n, gemmColBlock)
+	if maxWorkers == 1 {
+		for t := 0; t < mb*nb; t++ {
+			gemmU8I8Block(dst, a, b, m, k, n, nb, t)
+		}
+		return nil
+	}
+	ParallelFor(mb*nb, func(t int) { gemmU8I8Block(dst, a, b, m, k, n, nb, t) })
+	return nil
+}
+
+func gemmU8I8Block(dst []int32, a []uint8, b []int8, m, k, n, nb, t int) {
+	ib, jb := t/nb, t%nb
+	i1 := min((ib+1)*gemmRowBlock, m)
+	j0 := jb * gemmColBlock
+	j1 := min(j0+gemmColBlock, n)
+	for i := ib * gemmRowBlock; i < i1; i++ {
+		orow := dst[i*n+j0 : i*n+j1]
+		for j := range orow {
+			orow[j] = 0
+		}
+		arow := a[i*k : (i+1)*k]
+		p := 0
+		for ; p+3 < k; p += 4 {
+			axpy4I8(orow,
+				b[p*n+j0:p*n+j1],
+				b[(p+1)*n+j0:(p+1)*n+j1],
+				b[(p+2)*n+j0:(p+2)*n+j1],
+				b[(p+3)*n+j0:(p+3)*n+j1],
+				int32(arow[p]), int32(arow[p+1]), int32(arow[p+2]), int32(arow[p+3]))
+		}
+		for ; p < k; p++ {
+			axpy1I8(orow, b[p*n+j0:p*n+j1], int32(arow[p]))
+		}
+	}
+}
+
+// MatMulU8I8TransBInto computes dst = a·bᵀ where a is uint8 (m, k) and b
+// is int8 (n, k) — the integer linear layer (activations × weightᵀ), with
+// both operands streamed along contiguous k-rows so each output element is
+// one inner product. dst is fully overwritten.
+func MatMulU8I8TransBInto(dst []int32, a []uint8, b []int8, m, k, n int) error {
+	if err := checkGEMMInt("matmulU8I8TB", len(dst), len(a), len(b), m, k, n); err != nil {
+		return err
+	}
+	if maxWorkers == 1 {
+		for i := 0; i < m; i++ {
+			gemmU8I8TransBRow(dst, a, b, k, n, i)
+		}
+		return nil
+	}
+	ParallelFor(m, func(i int) { gemmU8I8TransBRow(dst, a, b, k, n, i) })
+	return nil
+}
+
+func gemmU8I8TransBRow(dst []int32, a []uint8, b []int8, k, n, i int) {
+	arow := a[i*k : (i+1)*k]
+	orow := dst[i*n : (i+1)*n]
+	for j := range orow {
+		orow[j] = dotU8I8(arow, b[j*k:(j+1)*k])
+	}
+}
+
+// MatMulI8U8Into computes dst = a·b where a is int8 (m, k) (quantized
+// weights) and b is uint8 (k, n) (im2col'd activations) — the integer
+// convolution GEMM, producing the channel-major (outC, N·OH·OW) layout the
+// requantization pass reorders into NCHW. dst is fully overwritten.
+func MatMulI8U8Into(dst []int32, a []int8, b []uint8, m, k, n int) error {
+	if err := checkGEMMInt("matmulI8U8", len(dst), len(a), len(b), m, k, n); err != nil {
+		return err
+	}
+	mb, nb := blocks(m, gemmRowBlock), blocks(n, gemmColBlock)
+	if maxWorkers == 1 {
+		for t := 0; t < mb*nb; t++ {
+			gemmI8U8Block(dst, a, b, m, k, n, nb, t)
+		}
+		return nil
+	}
+	ParallelFor(mb*nb, func(t int) { gemmI8U8Block(dst, a, b, m, k, n, nb, t) })
+	return nil
+}
+
+func gemmI8U8Block(dst []int32, a []int8, b []uint8, m, k, n, nb, t int) {
+	ib, jb := t/nb, t%nb
+	i1 := min((ib+1)*gemmRowBlock, m)
+	j0 := jb * gemmColBlock
+	j1 := min(j0+gemmColBlock, n)
+	for i := ib * gemmRowBlock; i < i1; i++ {
+		orow := dst[i*n+j0 : i*n+j1]
+		for j := range orow {
+			orow[j] = 0
+		}
+		arow := a[i*k : (i+1)*k]
+		p := 0
+		for ; p+3 < k; p += 4 {
+			axpy4U8(orow,
+				b[p*n+j0:p*n+j1],
+				b[(p+1)*n+j0:(p+1)*n+j1],
+				b[(p+2)*n+j0:(p+2)*n+j1],
+				b[(p+3)*n+j0:(p+3)*n+j1],
+				int32(arow[p]), int32(arow[p+1]), int32(arow[p+2]), int32(arow[p+3]))
+		}
+		for ; p < k; p++ {
+			axpy1U8(orow, b[p*n+j0:p*n+j1], int32(arow[p]))
+		}
+	}
+}
+
+// axpy4I8 computes dst[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
+// with int8 row segments widened to int32.
+func axpy4I8(dst []int32, b0, b1, b2, b3 []int8, a0, a1, a2, a3 int32) {
+	n := len(dst)
+	b0 = b0[:n]
+	b1 = b1[:n]
+	b2 = b2[:n]
+	b3 = b3[:n]
+	for j := range dst {
+		dst[j] += a0*int32(b0[j]) + a1*int32(b1[j]) + a2*int32(b2[j]) + a3*int32(b3[j])
+	}
+}
+
+func axpy1I8(dst []int32, b []int8, a int32) {
+	b = b[:len(dst)]
+	for j := range dst {
+		dst[j] += a * int32(b[j])
+	}
+}
+
+// axpy4U8 is axpy4I8 for uint8 row segments.
+func axpy4U8(dst []int32, b0, b1, b2, b3 []uint8, a0, a1, a2, a3 int32) {
+	n := len(dst)
+	b0 = b0[:n]
+	b1 = b1[:n]
+	b2 = b2[:n]
+	b3 = b3[:n]
+	for j := range dst {
+		dst[j] += a0*int32(b0[j]) + a1*int32(b1[j]) + a2*int32(b2[j]) + a3*int32(b3[j])
+	}
+}
+
+func axpy1U8(dst []int32, b []uint8, a int32) {
+	b = b[:len(dst)]
+	for j := range dst {
+		dst[j] += a * int32(b[j])
+	}
+}
+
+// dotU8I8 returns the int32 inner product of a uint8 row and an int8 row.
+// Four partial accumulators break the add dependency chain, mirroring the
+// float dot kernel (integer adds are associative, so this is exact).
+func dotU8I8(a []uint8, b []int8) int32 {
+	b = b[:len(a)]
+	var s0, s1, s2, s3 int32
+	j := 0
+	for ; j+3 < len(a); j += 4 {
+		s0 += int32(a[j]) * int32(b[j])
+		s1 += int32(a[j+1]) * int32(b[j+1])
+		s2 += int32(a[j+2]) * int32(b[j+2])
+		s3 += int32(a[j+3]) * int32(b[j+3])
+	}
+	for ; j < len(a); j++ {
+		s0 += int32(a[j]) * int32(b[j])
+	}
+	return s0 + s1 + s2 + s3
+}
+
+// Im2ColBatchU8Into unrolls a quantized NCHW batch (raw uint8 payload,
+// geometry g, n samples) into a (C·KH·KW, N·OH·OW) column matrix, exactly
+// like the float Im2ColBatchInto. Out-of-bounds taps are filled with pad —
+// the activation grid's zero point, which represents exact float zero — so
+// the consuming GEMM needs no border special-casing: subtracting
+// Z_x·Σq_w over the full kernel is the exact zero-point correction at
+// every output position. dst is fully overwritten.
+func Im2ColBatchU8Into(dst, src []uint8, n int, g ConvGeom, pad uint8) error {
+	if err := g.Validate(); err != nil {
+		return err
+	}
+	if n <= 0 {
+		return fmt.Errorf("%w: im2col u8 batch size %d", ErrShape, n)
+	}
+	inSz := g.InC * g.InH * g.InW
+	if len(src) < n*inSz {
+		return fmt.Errorf("%w: im2col u8 src has %d elements, want >= %d", ErrShape, len(src), n*inSz)
+	}
+	oh, ow := g.OutHW()
+	if len(dst) < g.InC*g.KH*g.KW*n*oh*ow {
+		return fmt.Errorf("%w: im2col u8 dst has %d elements, want >= %d", ErrShape, len(dst), g.InC*g.KH*g.KW*n*oh*ow)
+	}
+	if maxWorkers == 1 {
+		for i := 0; i < n; i++ {
+			im2colU8Sample(dst, src, n, g, pad, i)
+		}
+		return nil
+	}
+	ParallelFor(n, func(i int) { im2colU8Sample(dst, src, n, g, pad, i) })
+	return nil
+}
+
+func im2colU8Sample(dst, src []uint8, n int, g ConvGeom, pad uint8, i int) {
+	oh, ow := g.OutHW()
+	s := oh * ow
+	ns := n * s
+	inSz := g.InC * g.InH * g.InW
+	img := src[i*inSz : (i+1)*inSz]
+	row := 0
+	for c := 0; c < g.InC; c++ {
+		base := c * g.InH * g.InW
+		for kh := 0; kh < g.KH; kh++ {
+			for kw := 0; kw < g.KW; kw++ {
+				drow := dst[row*ns+i*s : row*ns+(i+1)*s]
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*g.Stride + kh - g.Pad
+					dseg := drow[oy*ow : (oy+1)*ow]
+					if iy < 0 || iy >= g.InH {
+						for ox := range dseg {
+							dseg[ox] = pad
+						}
+						continue
+					}
+					srow := img[base+iy*g.InW : base+(iy+1)*g.InW]
+					if g.Stride == 1 && kw >= g.Pad && g.InW-ow >= kw-g.Pad {
+						// Interior fast path: the tap row is a straight copy.
+						copy(dseg, srow[kw-g.Pad:])
+						continue
+					}
+					for ox := range dseg {
+						ix := ox*g.Stride + kw - g.Pad
+						if ix < 0 || ix >= g.InW {
+							dseg[ox] = pad
+						} else {
+							dseg[ox] = srow[ix]
+						}
+					}
+				}
+				row++
+			}
+		}
+	}
+}

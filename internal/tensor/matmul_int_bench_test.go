@@ -1,0 +1,23 @@
+package tensor
+
+import "testing"
+
+// Conv-shaped integer GEMM: SmallCNN layer 3 at the deploy geometry
+// (32 filters, depth 144, 64-sample batch of 8×8 outputs).
+func benchIntOperandsConv() (a []int8, b []uint8, m, k, n int) {
+	rng := NewRNG(7)
+	m, k, n = 32, 144, 4096
+	return randI8(rng, m*k), randU8(rng, k*n), m, k, n
+}
+
+func BenchmarkMatMulI8U8ConvShaped(b *testing.B) {
+	wa, xb, m, k, n := benchIntOperandsConv()
+	dst := make([]int32, m*n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := MatMulI8U8Into(dst, wa, xb, m, k, n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package tensor
+
+import (
+	"testing"
+)
+
+// naiveU8I8 is the reference for dst = a·b, a uint8 (m,k), b int8 (k,n).
+func naiveU8I8(a []uint8, b []int8, m, k, n int) []int32 {
+	out := make([]int32, m*n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s int32
+			for p := 0; p < k; p++ {
+				s += int32(a[i*k+p]) * int32(b[p*n+j])
+			}
+			out[i*n+j] = s
+		}
+	}
+	return out
+}
+
+func randU8(rng *RNG, n int) []uint8 {
+	out := make([]uint8, n)
+	for i := range out {
+		out[i] = uint8(rng.Intn(256))
+	}
+	return out
+}
+
+func randI8(rng *RNG, n int) []int8 {
+	out := make([]int8, n)
+	for i := range out {
+		out[i] = int8(rng.Intn(255) - 127)
+	}
+	return out
+}
+
+func TestMatMulU8I8MatchesNaive(t *testing.T) {
+	rng := NewRNG(41)
+	// Shapes straddling the row/column block boundaries.
+	shapes := [][3]int{{1, 1, 1}, {3, 7, 5}, {8, 16, 9}, {17, 27, 33}, {5, 64, 130}}
+	for _, s := range shapes {
+		m, k, n := s[0], s[1], s[2]
+		a := randU8(rng, m*k)
+		b := randI8(rng, k*n)
+		want := naiveU8I8(a, b, m, k, n)
+		got := make([]int32, m*n)
+		if err := MatMulU8I8Into(got, a, b, m, k, n); err != nil {
+			t.Fatalf("MatMulU8I8Into(%v): %v", s, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("shape %v: got[%d] = %d, want %d", s, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMatMulU8I8TransBMatchesNaive(t *testing.T) {
+	rng := NewRNG(42)
+	shapes := [][3]int{{1, 1, 1}, {4, 9, 3}, {10, 33, 7}, {2, 130, 11}}
+	for _, s := range shapes {
+		m, k, n := s[0], s[1], s[2]
+		a := randU8(rng, m*k)
+		bT := randI8(rng, n*k) // (n, k)
+		// Materialize b = bTᵀ for the reference.
+		b := make([]int8, k*n)
+		for j := 0; j < n; j++ {
+			for p := 0; p < k; p++ {
+				b[p*n+j] = bT[j*k+p]
+			}
+		}
+		want := naiveU8I8(a, b, m, k, n)
+		got := make([]int32, m*n)
+		if err := MatMulU8I8TransBInto(got, a, bT, m, k, n); err != nil {
+			t.Fatalf("MatMulU8I8TransBInto(%v): %v", s, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("shape %v: got[%d] = %d, want %d", s, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMatMulI8U8MatchesNaive(t *testing.T) {
+	rng := NewRNG(43)
+	shapes := [][3]int{{1, 1, 1}, {16, 27, 100}, {9, 13, 65}, {3, 150, 12}}
+	for _, s := range shapes {
+		m, k, n := s[0], s[1], s[2]
+		a := randI8(rng, m*k)
+		b := randU8(rng, k*n)
+		want := make([]int32, m*n)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				var acc int32
+				for p := 0; p < k; p++ {
+					acc += int32(a[i*k+p]) * int32(b[p*n+j])
+				}
+				want[i*n+j] = acc
+			}
+		}
+		got := make([]int32, m*n)
+		if err := MatMulI8U8Into(got, a, b, m, k, n); err != nil {
+			t.Fatalf("MatMulI8U8Into(%v): %v", s, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("shape %v: got[%d] = %d, want %d", s, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestIntGEMMDeterministicAcrossWorkers(t *testing.T) {
+	rng := NewRNG(44)
+	m, k, n := 13, 40, 257
+	a := randI8(rng, m*k)
+	b := randU8(rng, k*n)
+	prev := SetMaxWorkers(1)
+	defer SetMaxWorkers(prev)
+	serial := make([]int32, m*n)
+	if err := MatMulI8U8Into(serial, a, b, m, k, n); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 4, 8} {
+		SetMaxWorkers(w)
+		got := make([]int32, m*n)
+		if err := MatMulI8U8Into(got, a, b, m, k, n); err != nil {
+			t.Fatal(err)
+		}
+		for i := range serial {
+			if got[i] != serial[i] {
+				t.Fatalf("workers=%d: got[%d] = %d, want %d", w, i, got[i], serial[i])
+			}
+		}
+	}
+}
+
+func TestIntGEMMShapeErrors(t *testing.T) {
+	dst := make([]int32, 4)
+	a := make([]uint8, 4)
+	b := make([]int8, 4)
+	if err := MatMulU8I8Into(dst, a, b, 2, 3, 2); err == nil {
+		t.Error("short operand a did not error")
+	}
+	if err := MatMulU8I8Into(dst, a, b, 0, 2, 2); err == nil {
+		t.Error("zero dim did not error")
+	}
+	if err := MatMulU8I8TransBInto(dst[:1], a, b, 2, 2, 2); err == nil {
+		t.Error("short dst did not error")
+	}
+	if err := MatMulI8U8Into(dst, b, a, 2, 3, 2); err == nil {
+		t.Error("short operand did not error")
+	}
+}
+
+// TestIm2ColBatchU8MatchesFloat checks the uint8 packer against the float
+// Im2ColBatch on the same geometry, with pad = the quantization zero point.
+func TestIm2ColBatchU8MatchesFloat(t *testing.T) {
+	geoms := []ConvGeom{
+		{InC: 2, InH: 6, InW: 6, KH: 3, KW: 3, Stride: 1, Pad: 1},
+		{InC: 3, InH: 8, InW: 8, KH: 3, KW: 3, Stride: 2, Pad: 1},
+		{InC: 1, InH: 5, InW: 7, KH: 5, KW: 5, Stride: 1, Pad: 2},
+		{InC: 2, InH: 4, InW: 4, KH: 1, KW: 1, Stride: 2, Pad: 0},
+	}
+	rng := NewRNG(45)
+	const n = 3
+	const pad = uint8(7)
+	for _, g := range geoms {
+		inSz := g.InC * g.InH * g.InW
+		src := randU8(rng, n*inSz)
+		// Float reference input: the same values minus the pad level, so
+		// float zero padding corresponds to the uint8 pad value.
+		x := New(n, g.InC, g.InH, g.InW)
+		for i, v := range src {
+			x.Data()[i] = float32(v) - float32(pad)
+		}
+		want, err := Im2ColBatch(x, g)
+		if err != nil {
+			t.Fatalf("Im2ColBatch(%+v): %v", g, err)
+		}
+		oh, ow := g.OutHW()
+		got := make([]uint8, g.InC*g.KH*g.KW*n*oh*ow)
+		if err := Im2ColBatchU8Into(got, src, n, g, pad); err != nil {
+			t.Fatalf("Im2ColBatchU8Into(%+v): %v", g, err)
+		}
+		for i := range got {
+			if float32(got[i])-float32(pad) != want.Data()[i] {
+				t.Fatalf("geom %+v: col[%d] = %d (−pad: %v), want %v",
+					g, i, got[i], float32(got[i])-float32(pad), want.Data()[i])
+			}
+		}
+	}
+}
+
+func TestIm2ColBatchU8Errors(t *testing.T) {
+	g := ConvGeom{InC: 1, InH: 4, InW: 4, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	src := make([]uint8, 16)
+	dst := make([]uint8, 9*16)
+	if err := Im2ColBatchU8Into(dst, src, 2, g, 0); err == nil {
+		t.Error("short src did not error")
+	}
+	if err := Im2ColBatchU8Into(dst[:3], src, 1, g, 0); err == nil {
+		t.Error("short dst did not error")
+	}
+	if err := Im2ColBatchU8Into(dst, src, 0, g, 0); err == nil {
+		t.Error("zero batch did not error")
+	}
+}
