@@ -43,6 +43,24 @@ var seedBaseline = []kernelBench{
 	{Name: "ConvForwardBackward64", NsPerOp: 57427886, AllocsPerOp: 1876, BytesPerOp: 24815184},
 }
 
+// simdInfo records which kernel dispatch produced a report, so perf
+// trajectories across machines are interpretable: the same benchmark on
+// a host without (or with disabled) assembly kernels is a different
+// experiment.
+type simdInfo struct {
+	// Active reports whether the assembly kernels were dispatched while
+	// the benchmarks ran (false on non-amd64 hosts, under APT_NOSIMD, or
+	// when CPUID rejects the CPU/OS).
+	Active bool `json:"active"`
+	// Features names the CPU features backing the assembly kernels
+	// ("avx2,fma" on supported amd64), or "" when none exist.
+	Features string `json:"features"`
+}
+
+func currentSIMDInfo() simdInfo {
+	return simdInfo{Active: tensor.SIMDActive(), Features: tensor.SIMDFeatures()}
+}
+
 // kernelReport is the full JSON document.
 type kernelReport struct {
 	Generated    string        `json:"generated"`
@@ -50,6 +68,7 @@ type kernelReport struct {
 	GOOS         string        `json:"goos"`
 	GOARCH       string        `json:"goarch"`
 	GOMAXPROCS   int           `json:"gomaxprocs"`
+	SIMD         simdInfo      `json:"simd"`
 	Benchmarks   []kernelBench `json:"benchmarks"`
 	SeedBaseline []kernelBench `json:"seed_baseline"`
 }
@@ -63,7 +82,9 @@ func runKernelBenches(out io.Writer, jsonPath string) error {
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		SIMD:       currentSIMDInfo(),
 	}
+	fmt.Fprintf(out, "kernel dispatch: simd=%v features=%q\n", rep.SIMD.Active, rep.SIMD.Features)
 
 	record := func(name string, flopsPerOp float64, fn func(b *testing.B)) {
 		r := testing.Benchmark(fn)
@@ -145,6 +166,47 @@ func runKernelBenches(out io.Writer, jsonPath string) error {
 				b.Fatal(err)
 			}
 			if _, err := conv.Backward(dout); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// Integer GEMM rows: the serving engine's conv-shaped product
+	// (SmallCNN layer 3 at the deploy geometry) through the PR 3 strided
+	// kernel and through the packed-panel path the engine now runs —
+	// whether the packed row beats the float GEMMs above is exactly the
+	// "int8 is the fastest path" claim, so it belongs in the trajectory.
+	intM, intK, intN := 4096, 144, 32
+	intFlops := 2 * float64(intM) * float64(intK) * float64(intN)
+	rng := tensor.NewRNG(7)
+	wInt := make([]int8, intN*intK)
+	for i := range wInt {
+		wInt[i] = int8(rng.Intn(255) - 127)
+	}
+	xInt := make([]uint8, intM*intK+3) // +3: packed kernels read 4-tap quads
+	for i := range xInt {
+		xInt[i] = uint8(rng.Intn(256))
+	}
+	record("IntGEMMConvShaped", intFlops, func(b *testing.B) {
+		dst := make([]int32, intN*intM)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := tensor.MatMulI8U8Into(dst, wInt, xInt[:intK*intM], intN, intK, intM); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	record("IntGEMMPacked", intFlops, func(b *testing.B) {
+		pb, err := tensor.PackI8PanelsBT(wInt, intK, intN)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dst := make([]int32, intM*intN)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := tensor.MatMulU8I8PackedInto(dst, xInt, pb, intM, intK); err != nil {
 				b.Fatal(err)
 			}
 		}

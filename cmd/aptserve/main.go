@@ -1,8 +1,12 @@
-// Command aptserve trains a compact model on the SynthCIFAR workload,
-// compiles it to the integer-only inference engine, and serves it over
-// HTTP with dynamic micro-batching:
+// Command aptserve serves a model over HTTP with dynamic micro-batching,
+// compiled to the integer-only inference engine. By default it trains a
+// compact model on the SynthCIFAR workload at startup; -model decouples
+// serving from training by loading a bit-packed checkpoint (the
+// models.Save format apttrain -save writes) into the architecture named
+// by -arch instead:
 //
 //	aptserve [-addr :8651] [-workers 2] [-max-batch 32] [-max-delay 2ms]
+//	aptserve -model ckpt.apt -arch smallcnn [-width 1] [-classes 4] [-size 16]
 //
 // Endpoints:
 //
@@ -52,6 +56,9 @@ func run(args []string, out io.Writer) error {
 	trainN := fs.Int("train", 512, "training samples")
 	testN := fs.Int("test", 128, "held-out samples")
 	epochs := fs.Int("epochs", 6, "training epochs before serving")
+	modelPath := fs.String("model", "", "serve a bit-packed checkpoint (models.Save format) instead of training at startup")
+	arch := fs.String("arch", "smallcnn", "backbone architecture of the -model checkpoint")
+	width := fs.Float64("width", 1, "backbone width multiplier of the -model checkpoint")
 	seed := fs.Uint64("seed", 7, "experiment seed")
 	workers := fs.Int("workers", 2, "batching workers (engine replicas)")
 	maxBatch := fs.Int("max-batch", 32, "max samples fused into one engine call")
@@ -62,8 +69,12 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	srv, testSet, err := buildServer(*classes, *size, *trainN, *testN, *epochs, *seed,
-		*workers, *maxBatch, *maxDelay, *queueCap, out)
+	srv, testSet, err := buildServer(serverConfig{
+		classes: *classes, size: *size, trainN: *trainN, testN: *testN,
+		epochs: *epochs, seed: *seed,
+		modelPath: *modelPath, arch: *arch, width: *width,
+		workers: *workers, maxBatch: *maxBatch, maxDelay: *maxDelay, queueCap: *queueCap,
+	}, out)
 	if err != nil {
 		return err
 	}
@@ -103,27 +114,55 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
-// buildServer trains, compiles and wraps the engine in the batching
-// server.
-func buildServer(classes, size, trainN, testN, epochs int, seed uint64,
-	workers, maxBatch int, maxDelay time.Duration, queueCap int, out io.Writer) (*serve.Server, data.Dataset, error) {
+// serverConfig carries the resolved flags into buildServer.
+type serverConfig struct {
+	classes, size int
+	trainN, testN int
+	epochs        int
+	seed          uint64
+	modelPath     string // non-empty: load a checkpoint instead of training
+	arch          string
+	width         float64
+	workers       int
+	maxBatch      int
+	maxDelay      time.Duration
+	queueCap      int
+}
+
+// buildServer obtains a model — training one at startup, or loading the
+// bit-packed checkpoint named by -model — compiles it to the integer
+// engine, and wraps it in the batching server. The SynthCIFAR train
+// split doubles as the calibration batch in both paths.
+func buildServer(cfg serverConfig, out io.Writer) (*serve.Server, data.Dataset, error) {
 	trainSet, testSet, err := data.NewSynth(data.SynthConfig{
-		Classes: classes, Train: trainN, Test: testN, Size: size, Seed: seed, Noise: 0.5,
+		Classes: cfg.classes, Train: cfg.trainN, Test: cfg.testN, Size: cfg.size, Seed: cfg.seed, Noise: 0.5,
 	})
 	if err != nil {
 		return nil, nil, err
 	}
-	model, err := models.SmallCNN(models.Config{Classes: classes, InputSize: size, Seed: seed + 1})
-	if err != nil {
-		return nil, nil, err
-	}
-	fmt.Fprintf(out, "training smallcnn (%d samples, %d epochs)...\n", trainN, epochs)
-	hist, err := train.Run(train.Config{
-		Model: model, Train: trainSet, Test: testSet, BatchSize: 32, Epochs: epochs,
-		Schedule: optim.ConstSchedule(0.05), Momentum: 0.9, Seed: seed + 2,
-	})
-	if err != nil {
-		return nil, nil, err
+	var model *models.Model
+	if cfg.modelPath != "" {
+		model, err = loadCheckpoint(cfg.modelPath, cfg.arch, models.Config{
+			Classes: cfg.classes, InputSize: cfg.size, Width: cfg.width, Seed: cfg.seed + 1,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		fmt.Fprintf(out, "loaded %s checkpoint %s\n", cfg.arch, cfg.modelPath)
+	} else {
+		model, err = models.SmallCNN(models.Config{Classes: cfg.classes, InputSize: cfg.size, Seed: cfg.seed + 1})
+		if err != nil {
+			return nil, nil, err
+		}
+		fmt.Fprintf(out, "training smallcnn (%d samples, %d epochs)...\n", cfg.trainN, cfg.epochs)
+		hist, err := train.Run(train.Config{
+			Model: model, Train: trainSet, Test: testSet, BatchSize: 32, Epochs: cfg.epochs,
+			Schedule: optim.ConstSchedule(0.05), Momentum: 0.9, Seed: cfg.seed + 2,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		fmt.Fprintf(out, "trained to %.1f%% accuracy\n", 100*hist.BestAcc())
 	}
 	calibN := 64
 	if calibN > trainSet.Len() {
@@ -137,16 +176,33 @@ func buildServer(classes, size, trainN, testN, epochs int, seed uint64,
 	if err != nil {
 		return nil, nil, err
 	}
-	fmt.Fprintf(out, "trained to %.1f%% accuracy; int8 engine %.1f KiB\n",
-		100*hist.BestAcc(), float64(engine.SizeBytes())/1024)
+	fmt.Fprintf(out, "int8 engine %.1f KiB\n", float64(engine.SizeBytes())/1024)
 	srv, err := serve.New(serve.Config{
 		Engine:  engine, // sample geometry defaults from engine.InputShape
-		Workers: workers, MaxBatch: maxBatch, MaxDelay: maxDelay, QueueCap: queueCap,
+		Workers: cfg.workers, MaxBatch: cfg.maxBatch, MaxDelay: cfg.maxDelay, QueueCap: cfg.queueCap,
 	})
 	if err != nil {
 		return nil, nil, err
 	}
 	return srv, testSet, nil
+}
+
+// loadCheckpoint builds the named architecture and restores a bit-packed
+// checkpoint (models.Save format) into it.
+func loadCheckpoint(path, arch string, cfg models.Config) (*models.Model, error) {
+	m, err := models.Build(arch, cfg)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if err := models.Load(f, m); err != nil {
+		return nil, fmt.Errorf("load %s: %w", path, err)
+	}
+	return m, nil
 }
 
 // smokeRun binds an ephemeral port, performs health and classify round

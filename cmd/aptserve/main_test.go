@@ -1,8 +1,15 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/data"
+	"repro/internal/models"
+	"repro/internal/optim"
+	"repro/internal/train"
 )
 
 // TestSmokeRoundTrip runs the whole serving pipeline end to end: train,
@@ -21,6 +28,61 @@ func TestSmokeRoundTrip(t *testing.T) {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("output missing %q:\n%s", want, out.String())
 		}
+	}
+}
+
+// TestModelFlagServesCheckpoint decouples serving from training: a tiny
+// model trained here is saved in the bit-packed checkpoint format, then
+// aptserve -model loads and serves it without training at startup.
+func TestModelFlagServesCheckpoint(t *testing.T) {
+	tr, te, err := data.NewSynth(data.SynthConfig{
+		Classes: 4, Train: 96, Test: 32, Size: 12, Seed: 8, Noise: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := models.SmallCNN(models.Config{Classes: 4, InputSize: 12, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := train.Run(train.Config{
+		Model: m, Train: tr, Test: te, BatchSize: 32, Epochs: 1,
+		Schedule: optim.ConstSchedule(0.05), Momentum: 0.9, Seed: 10,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ckpt.apt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := models.Save(f, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	err = run([]string{
+		"-smoke", "-model", path, "-arch", "smallcnn", "-size", "12", "-train", "96", "-test", "32",
+		"-workers", "1", "-max-batch", "4", "-seed", "8",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run -smoke -model: %v\noutput:\n%s", err, out.String())
+	}
+	for _, want := range []string{"loaded smallcnn checkpoint", "/classify -> class", "clean shutdown"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	if strings.Contains(out.String(), "training smallcnn") {
+		t.Errorf("-model still trained at startup:\n%s", out.String())
+	}
+
+	var errOut strings.Builder
+	if err := run([]string{"-smoke", "-model", path, "-arch", "resnet20", "-size", "12"}, &errOut); err == nil {
+		t.Error("architecture mismatch did not error")
 	}
 }
 

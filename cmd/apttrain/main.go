@@ -60,12 +60,16 @@ func run(args []string, out io.Writer) error {
 	distFlag := fs.Bool("dist", false, "train data-parallel through the concurrent parameter-server engine")
 	workers := fs.Int("workers", 2, "data-parallel workers for -dist")
 	codecName := fs.String("codec", "fp32", "-dist gradient codec: fp32, 8bit, ternary")
+	savePath := fs.String("save", "", "write the trained model as a bit-packed checkpoint (not supported with -dist)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *savePath != "" && *distFlag {
+		return fmt.Errorf("-save is not supported with -dist")
+	}
 
 	cfg := models.Config{Classes: *classes, InputSize: *size, Width: *width, Seed: *seed}
-	build := func() (*models.Model, error) { return buildModel(*modelName, cfg) }
+	build := func() (*models.Model, error) { return models.Build(*modelName, cfg) }
 
 	tr, te, err := data.NewSynth(data.SynthConfig{
 		Classes: *classes, Train: *trainN, Test: *testN, Size: *size,
@@ -131,26 +135,27 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "\nfinal accuracy  %.4f (best %.4f)\n", hist.FinalAcc(), hist.BestAcc())
 	fmt.Fprintf(out, "training energy %.3f of fp32\n", hist.NormalizedEnergy())
 	fmt.Fprintf(out, "training memory %.3f of fp32\n", hist.NormalizedSize())
+	if *savePath != "" {
+		if err := saveCheckpoint(*savePath, m); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "saved checkpoint %s\n", *savePath)
+	}
 	return nil
 }
 
-func buildModel(name string, cfg models.Config) (*models.Model, error) {
-	switch name {
-	case "resnet20":
-		return models.ResNet20(cfg)
-	case "resnet110":
-		return models.ResNet110(cfg)
-	case "mobilenetv2":
-		return models.MobileNetV2(cfg)
-	case "cifarnet":
-		return models.CifarNet(cfg)
-	case "vggsmall":
-		return models.VGGSmall(cfg)
-	case "smallcnn":
-		return models.SmallCNN(cfg)
-	default:
-		return nil, fmt.Errorf("unknown model %q", name)
+// saveCheckpoint writes the trained model in the bit-packed
+// models.Save format (loadable by aptserve -model).
+func saveCheckpoint(path string, m *models.Model) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
 	}
+	if err := models.Save(f, m); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 type distArgs struct {

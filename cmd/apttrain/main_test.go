@@ -1,8 +1,12 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/models"
 )
 
 func TestRunTrainsTinyModel(t *testing.T) {
@@ -19,6 +23,42 @@ func TestRunTrainsTinyModel(t *testing.T) {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("output missing %q:\n%s", want, out.String())
 		}
+	}
+}
+
+// TestRunSavesLoadableCheckpoint: -save writes a bit-packed checkpoint
+// that models.Load restores into a freshly built architecture.
+func TestRunSavesLoadableCheckpoint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.apt")
+	var out strings.Builder
+	err := run([]string{
+		"-model", "smallcnn", "-classes", "3", "-size", "12",
+		"-train", "64", "-test", "32", "-epochs", "1", "-batch", "32",
+		"-mode", "apt", "-save", path,
+	}, &out)
+	if err != nil {
+		t.Fatalf("run -save: %v", err)
+	}
+	if !strings.Contains(out.String(), "saved checkpoint") {
+		t.Errorf("output missing save confirmation:\n%s", out.String())
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("checkpoint missing: %v", err)
+	}
+	defer f.Close()
+	// Width matches apttrain's default -width 0.25.
+	m, err := models.Build("smallcnn", models.Config{Classes: 3, InputSize: 12, Width: 0.25, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := models.Load(f, m); err != nil {
+		t.Fatalf("checkpoint does not load: %v", err)
+	}
+
+	var errOut strings.Builder
+	if err := run([]string{"-dist", "-save", path}, &errOut); err == nil {
+		t.Error("-save with -dist did not error")
 	}
 }
 

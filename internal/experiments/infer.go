@@ -40,6 +40,14 @@ type inferServingStats struct {
 	ThroughputRPS float64 `json:"throughput_rps"`
 }
 
+// inferSIMDInfo records the kernel dispatch the numbers were measured
+// under; without it a portable-fallback run is indistinguishable from an
+// assembly-path regression when comparing reports across machines.
+type inferSIMDInfo struct {
+	Active   bool   `json:"active"`
+	Features string `json:"features"`
+}
+
 // inferBenchReport is the BENCH_infer.json document.
 type inferBenchReport struct {
 	Generated  string            `json:"generated"`
@@ -47,6 +55,7 @@ type inferBenchReport struct {
 	GOOS       string            `json:"goos"`
 	GOARCH     string            `json:"goarch"`
 	GOMAXPROCS int               `json:"gomaxprocs"`
+	SIMD       inferSIMDInfo     `json:"simd"`
 	Scale      string            `json:"scale"`
 	Rows       []inferBenchRow   `json:"rows"`
 	Serving    inferServingStats `json:"serving"`
@@ -115,6 +124,7 @@ func Infer(s Scale, log io.Writer) (*Report, error) {
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		SIMD:       inferSIMDInfo{Active: tensor.SIMDActive(), Features: tensor.SIMDFeatures()},
 		Scale:      s.Name,
 	}
 	measure := func(name string, n int, f func() error) (float64, error) {
@@ -199,7 +209,11 @@ func Infer(s Scale, log io.Writer) (*Report, error) {
 		rep.AddNote("vs seed per-sample interpreter (batch %d): %.1fx faster (%.1fms -> %.1fms).",
 			batch, seedInferBaseline[0].NsPerOp/int64ns, seedInferBaseline[0].NsPerOp/1e6, int64ns/1e6)
 	}
-	rep.AddNote("int8 vs float forward at batch %d: %.2fx (float has AVX2+FMA assembly; the integer GEMM is portable Go).", batch, f64/int64ns)
+	dispatch := "portable Go kernels (no SIMD dispatch)"
+	if tensor.SIMDActive() {
+		dispatch = fmt.Sprintf("both paths on %s assembly kernels", tensor.SIMDFeatures())
+	}
+	rep.AddNote("int8 vs float forward at batch %d: %.2fx (%s).", batch, f64/int64ns, dispatch)
 	rep.AddNote("single-sample int8 latency %.2fms; micro-batching amortizes it to %.0f samples/s at mean batch %.1f.",
 		int1/1e6, st.Throughput, st.MeanBatch)
 

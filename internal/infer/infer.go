@@ -190,14 +190,21 @@ func (e *Engine) SizeBytes() int {
 // Integer layers
 // ---------------------------------------------------------------------------
 
-// qaffine is an integer conv or linear stage: int8 weights, uint8
-// activations, int32 accumulation through the batched integer GEMM, and
-// fixed-point requantization onto the compile-time output grid with the
-// fused activation clamp.
+// qaffine is an integer conv or linear stage: prepacked int8 weight
+// panels, uint8 activations, int32 accumulation through the packed
+// integer GEMM, and fixed-point requantization onto the compile-time
+// output grid with the fused activation clamp.
+//
+// The weight panels are built once at Compile time (tensor.PackI8PanelsBT
+// over the symmetric int8 weights) and are immutable afterwards, so every
+// concurrent Forward call shares them; the per-call GEMM does zero
+// repacking. Pack time also decides the kernel route: panels whose
+// adjacent weight pairs could saturate the int16 SIMD kernel run the
+// exact widening kernel instead (see tensor.PackedI8.Saturating).
 type qaffine struct {
 	label   string
 	buf     int
-	weights []int8           // conv: (outC, kdim); linear: (outC, inF)
+	packed  *tensor.PackedI8 // conv: (kdim, outC); linear: (inF, outC)
 	geom    *tensor.ConvGeom // nil => linear
 	outC    int
 	kdim    int // conv GEMM depth (inC·KH·KW)
@@ -212,7 +219,7 @@ type qaffine struct {
 
 func (q *qaffine) name() string { return q.label }
 
-func (q *qaffine) sizeBytes() int { return len(q.weights) + 4*q.nbias }
+func (q *qaffine) sizeBytes() int { return q.packed.SizeBytes() + 4*q.nbias }
 
 func (q *qaffine) forward(x *qtensor, s *scratch) (*qtensor, error) {
 	if q.geom != nil {
@@ -221,10 +228,11 @@ func (q *qaffine) forward(x *qtensor, s *scratch) (*qtensor, error) {
 	return q.linear(x, s)
 }
 
-// conv packs the batch with the uint8 im2col (padding with Z_x, which
-// represents exact float zero, so the per-channel correction term is
-// position-independent) and runs one integer GEMM for the whole batch,
-// then requantizes the channel-major accumulator into NCHW.
+// conv packs the batch with the patch-major uint8 im2col (padding with
+// Z_x, which represents exact float zero, so the per-channel correction
+// term is position-independent) and runs one packed integer GEMM for the
+// whole batch — activations streamed against the prepacked weight panels
+// — then requantizes the position-major accumulator into NCHW.
 func (q *qaffine) conv(x *qtensor, s *scratch) (*qtensor, error) {
 	g := *q.geom
 	if len(x.shape) != 4 || x.shape[1] != g.InC || x.shape[2] != g.InH || x.shape[3] != g.InW {
@@ -234,31 +242,35 @@ func (q *qaffine) conv(x *qtensor, s *scratch) (*qtensor, error) {
 	oh, ow := g.OutHW()
 	sp := oh * ow
 	ns := n * sp
-	cols := s.colsBuf(q.kdim * ns)
-	if err := tensor.Im2ColBatchU8Into(cols, x.data, n, g, uint8(q.in.zero)); err != nil {
+	// The packed kernels read operand rows in 4-tap quads; reserve the
+	// spare bytes past the last patch row (they multiply zero weights).
+	cols := s.colsBuf(q.kdim*ns + quadPad)
+	if err := tensor.Im2ColBatchU8PatchesInto(cols[:q.kdim*ns], x.data, n, g, uint8(q.in.zero)); err != nil {
 		return nil, err
 	}
 	acc := s.accBuf(q.outC * ns)
-	if err := tensor.MatMulI8U8Into(acc, q.weights, cols, q.outC, q.kdim, ns); err != nil {
+	aspan := (ns-1)*q.kdim + q.packed.PaddedK()
+	if err := tensor.MatMulU8I8PackedInto(acc, cols[:aspan], q.packed, ns, q.kdim); err != nil {
 		return nil, err
 	}
 	out := s.act(q.buf, n, q.outC, oh, ow)
 	out.g = q.out
 	if tensor.MaxWorkers() == 1 {
 		for t := 0; t < n*q.outC; t++ {
-			q.requantPlane(acc, out.data, ns, sp, t)
+			q.requantPlane(acc, out.data, sp, t)
 		}
 		return out, nil
 	}
-	tensor.ParallelFor(n*q.outC, func(t int) { q.requantPlane(acc, out.data, ns, sp, t) })
+	tensor.ParallelFor(n*q.outC, func(t int) { q.requantPlane(acc, out.data, sp, t) })
 	return out, nil
 }
 
-// requantPlane requantizes one (sample, channel) plane of the channel-
-// major conv accumulator into the NCHW output payload.
-func (q *qaffine) requantPlane(acc []int32, dst []uint8, ns, sp, t int) {
+// requantPlane requantizes one (sample, channel) plane of the
+// position-major conv accumulator (row per output position, column per
+// channel) into the NCHW output payload.
+func (q *qaffine) requantPlane(acc []int32, dst []uint8, sp, t int) {
 	i, oc := t/q.outC, t%q.outC
-	src := acc[oc*ns+i*sp : oc*ns+(i+1)*sp]
+	src := acc[i*sp*q.outC+oc:]
 	row := dst[(i*q.outC+oc)*sp : (i*q.outC+oc+1)*sp]
 	lo := int32(0)
 	if q.relu {
@@ -266,20 +278,24 @@ func (q *qaffine) requantPlane(acc []int32, dst []uint8, ns, sp, t int) {
 	}
 	zy := int64(q.out.zero)
 	corr, m0, rsh := q.corr[oc], q.m0[oc], q.rsh[oc]
-	for j, a := range src {
+	for j := range row {
+		a := src[j*q.outC]
 		row[j] = clampU8(requantize(int64(a)+corr, m0, rsh)+zy, lo)
 	}
 }
 
-// linear runs the batch as one integer GEMM against the transposed weight
-// matrix and requantizes per output feature.
+// linear runs the batch as one packed integer GEMM against the prepacked
+// weight panels and requantizes per output feature.
 func (q *qaffine) linear(x *qtensor, s *scratch) (*qtensor, error) {
 	if len(x.shape) != 2 || x.shape[1] != q.inF {
 		return nil, fmt.Errorf("input %v does not match linear (N,%d)", x.shape, q.inF)
 	}
 	n := x.dim(0)
 	acc := s.accBuf(n * q.outC)
-	if err := tensor.MatMulU8I8TransBInto(acc, x.data, q.weights, n, q.inF, q.outC); err != nil {
+	// Scratch payloads carry quadPad spare capacity past their length for
+	// exactly this re-slice (see qtensor.setShape).
+	aspan := (n-1)*q.inF + q.packed.PaddedK()
+	if err := tensor.MatMulU8I8PackedInto(acc, x.data[:aspan], q.packed, n, q.inF); err != nil {
 		return nil, err
 	}
 	out := s.act(q.buf, n, q.outC)

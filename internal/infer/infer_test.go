@@ -321,6 +321,37 @@ func TestEngineForwardSteadyStateAllocs(t *testing.T) {
 	}
 }
 
+// TestEngineForwardSIMDPortableIdentical pins the dispatch contract: the
+// assembly integer kernels and the portable Go fallback produce
+// bit-identical engine outputs (integer arithmetic, exact kernels — the
+// saturating fast path is only ever selected when it cannot saturate).
+// On hosts without SIMD kernels both runs take the portable path and the
+// test degenerates to a determinism check.
+func TestEngineForwardSIMDPortableIdentical(t *testing.T) {
+	m, te, calib := trainedSmallCNN(t)
+	eng, err := Compile(m, Config{Calibration: calib})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	x, _ := testBatch(t, te, 32)
+	prev := tensor.SetSIMD(true)
+	defer tensor.SetSIMD(prev)
+	simd, err := eng.Forward(x)
+	if err != nil {
+		t.Fatalf("Forward (simd): %v", err)
+	}
+	tensor.SetSIMD(false)
+	portable, err := eng.Forward(x)
+	if err != nil {
+		t.Fatalf("Forward (portable): %v", err)
+	}
+	for i, v := range simd.Data() {
+		if v != portable.Data()[i] {
+			t.Fatalf("logit[%d]: simd %v != portable %v", i, v, portable.Data()[i])
+		}
+	}
+}
+
 // ReLU6 must fold as a clipped rectifier: the calibration graph (and
 // therefore the lowered grids) must apply the upper clamp, not treat the
 // activation as an unbounded ReLU.

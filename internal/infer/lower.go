@@ -88,18 +88,27 @@ func lowerAffine(st *stage, in grid, cfg Config, nextID func() int) (qlayer, gri
 		weights, wscale = quantizeWeightsPerChannel(st.weight)
 	}
 
+	// Lower the weights to prepacked column panels once, here: the weight
+	// tensor's (outC, per) layout is exactly the transposed-B orientation
+	// the packer consumes, and the hot path never repacks. Pack time also
+	// fixes the kernel route for this layer (fast saturating-int16 kernel
+	// vs exact widening kernel; see tensor.PackedI8.Saturating).
+	packed, err := tensor.PackI8PanelsBT(weights, per, outC)
+	if err != nil {
+		return nil, grid{}, err
+	}
 	q := &qaffine{
-		label:   st.label,
-		buf:     nextID(),
-		weights: weights,
-		outC:    outC,
-		in:      in,
-		out:     out,
-		m0:      make([]int32, outC),
-		rsh:     make([]int32, outC),
-		corr:    make([]int64, outC),
-		nbias:   len(st.bias),
-		relu:    st.relu,
+		label:  st.label,
+		buf:    nextID(),
+		packed: packed,
+		outC:   outC,
+		in:     in,
+		out:    out,
+		m0:     make([]int32, outC),
+		rsh:    make([]int32, outC),
+		corr:   make([]int64, outC),
+		nbias:  len(st.bias),
+		relu:   st.relu,
 	}
 	if st.geom != nil {
 		q.geom = st.geom

@@ -175,3 +175,26 @@ func ResNet20(cfg Config) (*Model, error) { return ResNet(20, cfg) }
 
 // ResNet110 is ResNet(110, cfg).
 func ResNet110(cfg Config) (*Model, error) { return ResNet(110, cfg) }
+
+// Build constructs a backbone by its command-line name — the shared
+// registry behind apttrain -model and aptserve -arch (the checkpoint
+// loader needs the matching architecture before models.Load can restore
+// into it).
+func Build(name string, cfg Config) (*Model, error) {
+	switch name {
+	case "resnet20":
+		return ResNet20(cfg)
+	case "resnet110":
+		return ResNet110(cfg)
+	case "mobilenetv2":
+		return MobileNetV2(cfg)
+	case "cifarnet":
+		return CifarNet(cfg)
+	case "vggsmall":
+		return VGGSmall(cfg)
+	case "smallcnn":
+		return SmallCNN(cfg)
+	default:
+		return nil, fmt.Errorf("models: unknown backbone %q (want resnet20, resnet110, mobilenetv2, cifarnet, vggsmall or smallcnn)", name)
+	}
+}

@@ -10,6 +10,39 @@ package tensor
 // bits regardless of the worker count driving them, which is what keeps
 // ParallelFor-partitioned GEMMs bit-identical to their serial runs.
 
+// SIMD dispatch state. simdApply is overridden by the per-arch init when
+// usable vector kernels exist; it repoints every dispatch variable (float
+// AXPY/dot and the packed integer panel kernels) at either the assembly
+// or the portable implementations. The APT_NOSIMD environment variable
+// keeps the portable kernels in place at startup, so the fallback path is
+// testable on SIMD hardware.
+var (
+	simdOn       bool
+	simdFeatures string
+	simdApply    = func(bool) {}
+)
+
+// SetSIMD enables or disables the assembly kernel dispatch at runtime and
+// returns the previous setting. On hosts without usable SIMD kernels it
+// is a no-op (SIMDActive stays false). Like SetMaxWorkers, this is meant
+// for tests and benchmarks and is not synchronized with in-flight
+// operations.
+func SetSIMD(on bool) bool {
+	prev := simdOn
+	simdApply(on)
+	return prev
+}
+
+// SIMDActive reports whether the assembly kernels are currently
+// dispatched.
+func SIMDActive() bool { return simdOn }
+
+// SIMDFeatures names the CPU features backing the assembly kernels
+// (e.g. "avx2,fma"), or "" when no SIMD path exists on this host. The
+// feature set is reported even while dispatch is disabled via APT_NOSIMD
+// or SetSIMD(false).
+func SIMDFeatures() string { return simdFeatures }
+
 // axpy4 computes dst[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j].
 // The b slices must be at least len(dst) long.
 var axpy4 = axpy4Go

@@ -2,11 +2,14 @@
 
 package tensor
 
-// Runtime CPU dispatch for the amd64 SIMD kernels. The assembly in
-// kernels_amd64.s needs AVX2 and FMA3; both are checked via CPUID along
-// with OS support for saving YMM state (OSXSAVE + XCR0), following the
-// standard detection sequence. When any check fails the portable Go
-// kernels stay in place.
+import "os"
+
+// Runtime CPU dispatch for the amd64 SIMD kernels. The float assembly in
+// kernels_amd64.s needs AVX2 and FMA3; the integer panel kernels in
+// kernels_int_amd64.s need AVX2. Both are checked via CPUID along with OS
+// support for saving YMM state (OSXSAVE + XCR0), following the standard
+// detection sequence. When any check fails — or APT_NOSIMD is set in the
+// environment — the portable Go kernels stay in place.
 
 //go:noescape
 func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
@@ -22,6 +25,12 @@ func axpy1fma(dst, b *float32, n int, a float32)
 
 //go:noescape
 func dotfma(a, b *float32, n int) float32
+
+//go:noescape
+func packedGEMMFastAVX2(dst *int32, a *uint8, panel *int8, m, kq, lda, ldd int)
+
+//go:noescape
+func packedGEMMWideAVX2(dst *int32, a *uint8, panel *int8, m, kq, lda, ldd int)
 
 // hasFMA reports whether AVX2+FMA kernels are usable on this CPU/OS.
 var hasFMA = detectFMA()
@@ -54,31 +63,70 @@ func init() {
 	if !hasFMA {
 		return
 	}
-	axpy4 = func(dst, b0, b1, b2, b3 []float32, a0, a1, a2, a3 float32) {
-		n := len(dst)
-		if n == 0 {
-			return
-		}
-		_ = b0[n-1]
-		_ = b1[n-1]
-		_ = b2[n-1]
-		_ = b3[n-1]
-		axpy4fma(&dst[0], &b0[0], &b1[0], &b2[0], &b3[0], n, a0, a1, a2, a3)
+	simdFeatures = "avx2,fma"
+	simdApply = applySIMDAmd64
+	simdApply(os.Getenv("APT_NOSIMD") == "")
+}
+
+// applySIMDAmd64 points every kernel dispatch variable at the assembly or
+// the portable implementation. It backs SetSIMD, so both paths stay
+// testable on one machine.
+func applySIMDAmd64(on bool) {
+	simdOn = on
+	if !on {
+		axpy4, axpy1, dot = axpy4Go, axpy1Go, dotGo
+		packedAsmFast, packedAsmWide = nil, nil
+		return
 	}
-	axpy1 = func(dst, b []float32, a float32) {
-		n := len(dst)
-		if n == 0 {
-			return
-		}
-		_ = b[n-1]
-		axpy1fma(&dst[0], &b[0], n, a)
+	axpy4 = axpy4Asm
+	axpy1 = axpy1Asm
+	dot = dotAsm
+	packedAsmFast = packedFastAsm
+	packedAsmWide = packedWideAsm
+}
+
+func axpy4Asm(dst, b0, b1, b2, b3 []float32, a0, a1, a2, a3 float32) {
+	n := len(dst)
+	if n == 0 {
+		return
 	}
-	dot = func(a, b []float32) float32 {
-		n := len(a)
-		if n == 0 {
-			return 0
-		}
-		_ = b[n-1]
-		return dotfma(&a[0], &b[0], n)
+	_ = b0[n-1]
+	_ = b1[n-1]
+	_ = b2[n-1]
+	_ = b3[n-1]
+	axpy4fma(&dst[0], &b0[0], &b1[0], &b2[0], &b3[0], n, a0, a1, a2, a3)
+}
+
+func axpy1Asm(dst, b []float32, a float32) {
+	n := len(dst)
+	if n == 0 {
+		return
 	}
+	_ = b[n-1]
+	axpy1fma(&dst[0], &b[0], n, a)
+}
+
+func dotAsm(a, b []float32) float32 {
+	n := len(a)
+	if n == 0 {
+		return 0
+	}
+	_ = b[n-1]
+	return dotfma(&a[0], &b[0], n)
+}
+
+func packedFastAsm(dst []int32, a []uint8, panel []int8, m, kq, lda, ldd int) {
+	// Bounds asserted by MatMulU8I8PackedInto; the kernel reads 4·kq bytes
+	// per operand row and writes 8 int32 per dst row.
+	_ = a[(m-1)*lda+4*kq-1]
+	_ = dst[(m-1)*ldd+7]
+	_ = panel[kq*32-1]
+	packedGEMMFastAVX2(&dst[0], &a[0], &panel[0], m, kq, lda, ldd)
+}
+
+func packedWideAsm(dst []int32, a []uint8, panel []int8, m, kq, lda, ldd int) {
+	_ = a[(m-1)*lda+4*kq-1]
+	_ = dst[(m-1)*ldd+7]
+	_ = panel[kq*32-1]
+	packedGEMMWideAVX2(&dst[0], &a[0], &panel[0], m, kq, lda, ldd)
 }

@@ -1,0 +1,134 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// Integer GEMM micro-kernels for the packed u8×s8 path (see
+// matmul_int_packed.go for the panel layout). Both kernels compute m rows
+// of one 8-column panel: for each row, 8 int32 dot products of the uint8
+// operand row against the packed int8 panel, k consumed in 4-tap quads.
+//
+//	dst: *int32, row stride ldd (int32 units), 8 values stored per row
+//	a:   *uint8, row stride lda (bytes), each row readable for 4·kq bytes
+//	panel: kq · 32 bytes of packed weights
+//
+// packedGEMMFastAVX2 is the gemmlowp shape: VPMADDUBSW fuses adjacent
+// u8·s8 tap pairs into saturating int16, VPMADDWD × ones widens pairs to
+// int32, VPADDD accumulates. Exact only when no even k-pair of weights
+// can saturate the int16 stage (pack time guarantees |w0|+|w1| ≤ 128
+// before routing a matrix here).
+//
+// packedGEMMWideAVX2 widens both operands to int16 first (VPMOVZXBW /
+// VPMOVSXBW) and accumulates VPMADDWD products — exact for any weights
+// (|255·w0| + |255·w1| always fits int32). It holds column pair-sums in
+// an interleaved order and fixes up with VPHADDD+VPERMQ once per row.
+
+// func packedGEMMFastAVX2(dst *int32, a *uint8, panel *int8, m, kq, lda, ldd int)
+TEXT ·packedGEMMFastAVX2(SB), NOSPLIT, $0-56
+	MOVQ dst+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ panel+16(FP), DX
+	MOVQ m+24(FP), R8
+	MOVQ kq+32(FP), R9
+	MOVQ lda+40(FP), R10
+	MOVQ ldd+48(FP), R11
+	SHLQ $2, R11              // dst row stride in bytes
+
+	// Y7 = 16 × int16(1) for the VPMADDWD pair-collapse.
+	VPCMPEQW Y7, Y7, Y7
+	VPSRLW   $15, Y7, Y7
+
+rowloop:
+	TESTQ R8, R8
+	JZ    done
+	VPXOR Y0, Y0, Y0          // even-quad accumulator
+	VPXOR Y1, Y1, Y1          // odd-quad accumulator
+	MOVQ  SI, R12             // a cursor
+	MOVQ  DX, BX              // panel cursor
+	MOVQ  R9, CX
+
+pair:                             // two k-quads per iteration
+	CMPQ CX, $2
+	JLT  quad1
+	VPBROADCASTD (R12), Y4    // a[4q..4q+3] replicated to 8 lanes
+	VPMADDUBSW   (BX), Y4, Y5 // sat16(a0·b0 + a1·b1), per column ×2
+	VPMADDWD     Y7, Y5, Y5   // pair-sum → int32 per column
+	VPADDD       Y5, Y0, Y0
+	VPBROADCASTD 4(R12), Y4
+	VPMADDUBSW   32(BX), Y4, Y5
+	VPMADDWD     Y7, Y5, Y5
+	VPADDD       Y5, Y1, Y1
+	ADDQ $8, R12
+	ADDQ $64, BX
+	SUBQ $2, CX
+	JMP  pair
+
+quad1:
+	TESTQ CX, CX
+	JZ    rowend
+	VPBROADCASTD (R12), Y4
+	VPMADDUBSW   (BX), Y4, Y5
+	VPMADDWD     Y7, Y5, Y5
+	VPADDD       Y5, Y0, Y0
+
+rowend:
+	VPADDD  Y1, Y0, Y0
+	VMOVDQU Y0, (DI)
+	ADDQ    R11, DI
+	ADDQ    R10, SI
+	DECQ    R8
+	JMP     rowloop
+
+done:
+	VZEROUPPER
+	RET
+
+// func packedGEMMWideAVX2(dst *int32, a *uint8, panel *int8, m, kq, lda, ldd int)
+TEXT ·packedGEMMWideAVX2(SB), NOSPLIT, $0-56
+	MOVQ dst+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ panel+16(FP), DX
+	MOVQ m+24(FP), R8
+	MOVQ kq+32(FP), R9
+	MOVQ lda+40(FP), R10
+	MOVQ ldd+48(FP), R11
+	SHLQ $2, R11
+
+rowloop:
+	TESTQ R8, R8
+	JZ    done
+	VPXOR Y0, Y0, Y0          // pair-sums, columns 0–3 interleaved
+	VPXOR Y1, Y1, Y1          // pair-sums, columns 4–7 interleaved
+	MOVQ  SI, R12
+	MOVQ  DX, BX
+	MOVQ  R9, CX
+
+quad:
+	TESTQ CX, CX
+	JZ    rowend
+	VPBROADCASTD (R12), X4
+	VPMOVZXBW    X4, Y4       // activations widened: [a0..a3] × 4, int16
+	VPMOVSXBW    (BX), Y5     // panel low half: cols 0–3, int16
+	VPMADDWD     Y4, Y5, Y5   // a0·b0+a1·b1, a2·b2+a3·b3 per column
+	VPADDD       Y5, Y0, Y0
+	VPMOVSXBW    16(BX), Y5   // panel high half: cols 4–7
+	VPMADDWD     Y4, Y5, Y5
+	VPADDD       Y5, Y1, Y1
+	ADDQ $4, R12
+	ADDQ $32, BX
+	DECQ CX
+	JMP  quad
+
+rowend:
+	// Fold adjacent pair-sums: VPHADDD leaves [c0 c1 c4 c5 | c2 c3 c6 c7];
+	// VPERMQ restores column order.
+	VPHADDD Y1, Y0, Y0
+	VPERMQ  $0xD8, Y0, Y0
+	VMOVDQU Y0, (DI)
+	ADDQ    R11, DI
+	ADDQ    R10, SI
+	DECQ    R8
+	JMP     rowloop
+
+done:
+	VZEROUPPER
+	RET

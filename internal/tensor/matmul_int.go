@@ -86,26 +86,36 @@ func gemmU8I8Block(dst []int32, a []uint8, b []int8, m, k, n, nb, t int) {
 // MatMulU8I8TransBInto computes dst = a·bᵀ where a is uint8 (m, k) and b
 // is int8 (n, k) — the integer linear layer (activations × weightᵀ), with
 // both operands streamed along contiguous k-rows so each output element is
-// one inner product. dst is fully overwritten.
+// one inner product. Output tiles follow the same (row block × column
+// block) decomposition as the other integer GEMMs, so narrow-batch tall
+// products still fan out across the worker pool. dst is fully
+// overwritten.
 func MatMulU8I8TransBInto(dst []int32, a []uint8, b []int8, m, k, n int) error {
 	if err := checkGEMMInt("matmulU8I8TB", len(dst), len(a), len(b), m, k, n); err != nil {
 		return err
 	}
+	mb, nb := blocks(m, gemmRowBlock), blocks(n, gemmColBlock)
 	if maxWorkers == 1 {
-		for i := 0; i < m; i++ {
-			gemmU8I8TransBRow(dst, a, b, k, n, i)
+		for t := 0; t < mb*nb; t++ {
+			gemmU8I8TransBBlock(dst, a, b, m, k, n, nb, t)
 		}
 		return nil
 	}
-	ParallelFor(m, func(i int) { gemmU8I8TransBRow(dst, a, b, k, n, i) })
+	ParallelFor(mb*nb, func(t int) { gemmU8I8TransBBlock(dst, a, b, m, k, n, nb, t) })
 	return nil
 }
 
-func gemmU8I8TransBRow(dst []int32, a []uint8, b []int8, k, n, i int) {
-	arow := a[i*k : (i+1)*k]
-	orow := dst[i*n : (i+1)*n]
-	for j := range orow {
-		orow[j] = dotU8I8(arow, b[j*k:(j+1)*k])
+func gemmU8I8TransBBlock(dst []int32, a []uint8, b []int8, m, k, n, nb, t int) {
+	ib, jb := t/nb, t%nb
+	i1 := min((ib+1)*gemmRowBlock, m)
+	j0 := jb * gemmColBlock
+	j1 := min(j0+gemmColBlock, n)
+	for i := ib * gemmRowBlock; i < i1; i++ {
+		arow := a[i*k : (i+1)*k]
+		orow := dst[i*n+j0 : i*n+j1]
+		for j := range orow {
+			orow[j] = dotU8I8(arow, b[(j0+j)*k:(j0+j+1)*k])
+		}
 	}
 }
 
@@ -242,6 +252,83 @@ func Im2ColBatchU8Into(dst, src []uint8, n int, g ConvGeom, pad uint8) error {
 	}
 	ParallelFor(n, func(i int) { im2colU8Sample(dst, src, n, g, pad, i) })
 	return nil
+}
+
+// Im2ColBatchU8PatchesInto unrolls a quantized NCHW batch into the
+// patch-major (N·OH·OW, C·KH·KW) layout the packed integer GEMM consumes:
+// one row per output position holding that position's receptive field,
+// sample-major so batched results are bit-identical to per-sample runs.
+// Out-of-bounds taps are filled with pad (the activation zero point), as
+// in Im2ColBatchU8Into. dst is fully overwritten over the first
+// N·OH·OW·C·KH·KW elements.
+func Im2ColBatchU8PatchesInto(dst, src []uint8, n int, g ConvGeom, pad uint8) error {
+	if err := g.Validate(); err != nil {
+		return err
+	}
+	if n <= 0 {
+		return fmt.Errorf("%w: im2col u8 patches batch size %d", ErrShape, n)
+	}
+	inSz := g.InC * g.InH * g.InW
+	if len(src) < n*inSz {
+		return fmt.Errorf("%w: im2col u8 patches src has %d elements, want >= %d", ErrShape, len(src), n*inSz)
+	}
+	oh, ow := g.OutHW()
+	if len(dst) < n*oh*ow*g.InC*g.KH*g.KW {
+		return fmt.Errorf("%w: im2col u8 patches dst has %d elements, want >= %d",
+			ErrShape, len(dst), n*oh*ow*g.InC*g.KH*g.KW)
+	}
+	if maxWorkers == 1 {
+		for i := 0; i < n; i++ {
+			im2colU8Patch(dst, src, g, pad, i)
+		}
+		return nil
+	}
+	ParallelFor(n, func(i int) { im2colU8Patch(dst, src, g, pad, i) })
+	return nil
+}
+
+func im2colU8Patch(dst, src []uint8, g ConvGeom, pad uint8, i int) {
+	oh, ow := g.OutHW()
+	kdim := g.InC * g.KH * g.KW
+	inSz := g.InC * g.InH * g.InW
+	img := src[i*inSz : (i+1)*inSz]
+	sp := oh * ow
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			row := dst[(i*sp+oy*ow+ox)*kdim:][:kdim]
+			ix0 := ox*g.Stride - g.Pad
+			p := 0
+			for c := 0; c < g.InC; c++ {
+				base := c * g.InH * g.InW
+				for kh := 0; kh < g.KH; kh++ {
+					iy := oy*g.Stride + kh - g.Pad
+					if iy < 0 || iy >= g.InH {
+						for t := 0; t < g.KW; t++ {
+							row[p+t] = pad
+						}
+						p += g.KW
+						continue
+					}
+					srow := img[base+iy*g.InW : base+(iy+1)*g.InW]
+					if ix0 >= 0 && ix0+g.KW <= g.InW {
+						// Interior fast path: the KW taps are consecutive
+						// source bytes.
+						copy(row[p:p+g.KW], srow[ix0:])
+						p += g.KW
+						continue
+					}
+					for t := 0; t < g.KW; t++ {
+						if ix := ix0 + t; ix < 0 || ix >= g.InW {
+							row[p] = pad
+						} else {
+							row[p] = srow[ix]
+						}
+						p++
+					}
+				}
+			}
+		}
+	}
 }
 
 func im2colU8Sample(dst, src []uint8, n int, g ConvGeom, pad uint8, i int) {
