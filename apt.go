@@ -97,10 +97,12 @@ func Augment(ds Dataset, pad, size int, seed uint64) (Dataset, error) {
 // SaveModel writes a model checkpoint to w with quantized parameters
 // stored bit-packed (a 6-bit layer costs 6 bits per weight on the wire,
 // the on-device storage story of the paper). LoadModel restores it into a
-// same-architecture model.
+// same-architecture model; LoadModelAuto rebuilds the architecture the
+// checkpoint header names (arch/width arguments override it).
 var (
-	SaveModel = models.Save
-	LoadModel = models.Load
+	SaveModel     = models.Save
+	LoadModel     = models.Load
+	LoadModelAuto = models.LoadAuto
 )
 
 // Config assembles a training session on the facade level.

@@ -197,7 +197,14 @@ func runKernelBenches(out io.Writer, jsonPath string) error {
 			}
 		}
 	})
-	record("IntGEMMPacked", intFlops, func(b *testing.B) {
+	// IntGEMMPacked4Row continues the IntGEMMPacked series under its
+	// multi-row name: since the 4×8 register-blocked kernels landed, the
+	// packed GEMM processes four activation rows per panel-quad load, so
+	// this row against PR 4's IntGEMMPacked number (same workload, same
+	// operands) is the one-row → multi-row before/after. The old row name
+	// was retired rather than kept alongside — two rows measuring one
+	// code path differ only by run noise.
+	record("IntGEMMPacked4Row", intFlops, func(b *testing.B) {
 		pb, err := tensor.PackI8PanelsBT(wInt, intK, intN)
 		if err != nil {
 			b.Fatal(err)
@@ -207,6 +214,27 @@ func runKernelBenches(out io.Writer, jsonPath string) error {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if err := tensor.MatMulU8I8PackedInto(dst, xInt, pb, intM, intK); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// FloatGEMMPacked: the conv-shaped float GEMM through the packed 4×16
+	// FMA micro-kernel with B pre-packed — kernel time alone, the number
+	// to compare against MatMulConvShaped's AXPY-era entries. The packing
+	// itself is measured by the routed MatMulConvShaped row above (MatMul
+	// repacks per call on this shape).
+	record("FloatGEMMPacked", benchkit.ConvShapedGEMMFlops, func(b *testing.B) {
+		w, cols := benchkit.ConvShapedGEMM()
+		pb, err := tensor.PackF32PanelsB(cols.Data(), cols.Dim(0), cols.Dim(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		dst := make([]float32, w.Dim(0)*cols.Dim(1))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := tensor.MatMulF32PackedInto(dst, w.Data(), pb, w.Dim(0), w.Dim(1)); err != nil {
 				b.Fatal(err)
 			}
 		}

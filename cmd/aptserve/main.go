@@ -2,11 +2,14 @@
 // compiled to the integer-only inference engine. By default it trains a
 // compact model on the SynthCIFAR workload at startup; -model decouples
 // serving from training by loading a bit-packed checkpoint (the
-// models.Save format apttrain -save writes) into the architecture named
-// by -arch instead:
+// models.Save format apttrain -save writes). The checkpoint header
+// names its architecture and width multiplier, so -arch and -width are
+// optional overrides — needed only for legacy checkpoints written
+// before the width field existed at a non-default width:
 //
 //	aptserve [-addr :8651] [-workers 2] [-max-batch 32] [-max-delay 2ms]
-//	aptserve -model ckpt.apt -arch smallcnn [-width 1] [-classes 4] [-size 16]
+//	aptserve -model ckpt.apt [-classes 4] [-size 16]
+//	aptserve -model legacy.apt -arch smallcnn -width 0.5
 //
 // Endpoints:
 //
@@ -57,8 +60,8 @@ func run(args []string, out io.Writer) error {
 	testN := fs.Int("test", 128, "held-out samples")
 	epochs := fs.Int("epochs", 6, "training epochs before serving")
 	modelPath := fs.String("model", "", "serve a bit-packed checkpoint (models.Save format) instead of training at startup")
-	arch := fs.String("arch", "smallcnn", "backbone architecture of the -model checkpoint")
-	width := fs.Float64("width", 1, "backbone width multiplier of the -model checkpoint")
+	arch := fs.String("arch", "", "override the -model checkpoint's architecture header (default: read from the checkpoint)")
+	width := fs.Float64("width", 0, "override the checkpoint's width multiplier (default: read from the checkpoint)")
 	seed := fs.Uint64("seed", 7, "experiment seed")
 	workers := fs.Int("workers", 2, "batching workers (engine replicas)")
 	maxBatch := fs.Int("max-batch", 32, "max samples fused into one engine call")
@@ -142,13 +145,13 @@ func buildServer(cfg serverConfig, out io.Writer) (*serve.Server, data.Dataset, 
 	}
 	var model *models.Model
 	if cfg.modelPath != "" {
-		model, err = loadCheckpoint(cfg.modelPath, cfg.arch, models.Config{
-			Classes: cfg.classes, InputSize: cfg.size, Width: cfg.width, Seed: cfg.seed + 1,
+		model, err = loadCheckpoint(cfg.modelPath, cfg.arch, cfg.width, models.Config{
+			Classes: cfg.classes, InputSize: cfg.size, Seed: cfg.seed + 1,
 		})
 		if err != nil {
 			return nil, nil, err
 		}
-		fmt.Fprintf(out, "loaded %s checkpoint %s\n", cfg.arch, cfg.modelPath)
+		fmt.Fprintf(out, "loaded %s (width %g) checkpoint %s\n", model.Name, model.Width, cfg.modelPath)
 	} else {
 		model, err = models.SmallCNN(models.Config{Classes: cfg.classes, InputSize: cfg.size, Seed: cfg.seed + 1})
 		if err != nil {
@@ -187,19 +190,17 @@ func buildServer(cfg serverConfig, out io.Writer) (*serve.Server, data.Dataset, 
 	return srv, testSet, nil
 }
 
-// loadCheckpoint builds the named architecture and restores a bit-packed
-// checkpoint (models.Save format) into it.
-func loadCheckpoint(path, arch string, cfg models.Config) (*models.Model, error) {
-	m, err := models.Build(arch, cfg)
-	if err != nil {
-		return nil, err
-	}
+// loadCheckpoint restores a bit-packed checkpoint (models.Save format)
+// into the architecture its header names; arch and width, when set,
+// override the header (legacy checkpoints predate the width field).
+func loadCheckpoint(path, arch string, width float64, cfg models.Config) (*models.Model, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	if err := models.Load(f, m); err != nil {
+	m, err := models.LoadAuto(f, arch, width, cfg)
+	if err != nil {
 		return nil, fmt.Errorf("load %s: %w", path, err)
 	}
 	return m, nil

@@ -63,21 +63,32 @@ func TestModelFlagServesCheckpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// No -arch/-width: both are read from the checkpoint header.
 	var out strings.Builder
 	err = run([]string{
-		"-smoke", "-model", path, "-arch", "smallcnn", "-size", "12", "-train", "96", "-test", "32",
+		"-smoke", "-model", path, "-size", "12", "-train", "96", "-test", "32",
 		"-workers", "1", "-max-batch", "4", "-seed", "8",
 	}, &out)
 	if err != nil {
 		t.Fatalf("run -smoke -model: %v\noutput:\n%s", err, out.String())
 	}
-	for _, want := range []string{"loaded smallcnn checkpoint", "/classify -> class", "clean shutdown"} {
+	for _, want := range []string{"loaded smallcnn (width 1) checkpoint", "/classify -> class", "clean shutdown"} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("output missing %q:\n%s", want, out.String())
 		}
 	}
 	if strings.Contains(out.String(), "training smallcnn") {
 		t.Errorf("-model still trained at startup:\n%s", out.String())
+	}
+
+	// An explicit matching override still works (the legacy invocation).
+	var overrideOut strings.Builder
+	err = run([]string{
+		"-smoke", "-model", path, "-arch", "smallcnn", "-width", "1", "-size", "12",
+		"-workers", "1", "-max-batch", "4", "-seed", "8",
+	}, &overrideOut)
+	if err != nil {
+		t.Fatalf("run -smoke -model -arch override: %v\noutput:\n%s", err, overrideOut.String())
 	}
 
 	var errOut strings.Builder

@@ -225,7 +225,8 @@ func TestInferMicroBench(t *testing.T) {
 		t.Fatalf("Infer: %v", err)
 	}
 	for _, name := range []string{
-		"int8_engine_forward_b1", "int8_engine_forward_b64",
+		"int8_engine_forward_b1", "int8_engine_forward_b4",
+		"int8_engine_forward_b16", "int8_engine_forward_b64",
 		"float_model_forward_b1", "float_model_forward_b64",
 	} {
 		s := rep.Series[name]
@@ -253,7 +254,8 @@ func TestInferMicroBench(t *testing.T) {
 	if err := json.Unmarshal(raw, &doc); err != nil {
 		t.Fatalf("JSON report invalid: %v", err)
 	}
-	if len(doc.Rows) != 4 || doc.Serving.Requests == 0 {
+	// The batch sweep (1/4/16/64) plus the two float endpoints.
+	if len(doc.Rows) != 6 || doc.Serving.Requests == 0 {
 		t.Errorf("JSON report shape: %d rows, %d served requests", len(doc.Rows), doc.Serving.Requests)
 	}
 }

@@ -139,13 +139,28 @@ func Infer(s Scale, log io.Writer) (*Report, error) {
 		return ns, nil
 	}
 
-	int1, err := measure("int8_engine_forward", 1, func() error { _, err := eng.Forward(one); return err })
-	if err != nil {
-		return nil, err
-	}
-	int64ns, err := measure("int8_engine_forward", batch, func() error { _, err := eng.Forward(x); return err })
-	if err != nil {
-		return nil, err
+	// Batch-size latency sweep: the serving latency curve (how micro-batch
+	// coalescing amortizes the per-call cost) as machine-readable rows,
+	// not just the two endpoints.
+	var int1, int64ns float64
+	for _, bs := range []int{1, 4, 16, 64} {
+		xb := one
+		if bs > 1 {
+			xb, err = tensor.FromSlice(x.Data()[:bs*3*s.InputSize*s.InputSize], bs, 3, s.InputSize, s.InputSize)
+			if err != nil {
+				return nil, err
+			}
+		}
+		ns, err := measure("int8_engine_forward", bs, func() error { _, err := eng.Forward(xb); return err })
+		if err != nil {
+			return nil, err
+		}
+		switch bs {
+		case 1:
+			int1 = ns
+		case batch:
+			int64ns = ns
+		}
 	}
 	_, err = measure("float_model_forward", 1, func() error { _, err := m.Net.Forward(one, false); return err })
 	if err != nil {

@@ -255,32 +255,49 @@ func (q *qaffine) conv(x *qtensor, s *scratch) (*qtensor, error) {
 	}
 	out := s.act(q.buf, n, q.outC, oh, ow)
 	out.g = q.out
+	chunks := (sp + requantChunk - 1) / requantChunk
 	if tensor.MaxWorkers() == 1 {
-		for t := 0; t < n*q.outC; t++ {
-			q.requantPlane(acc, out.data, sp, t)
+		for t := 0; t < n*chunks; t++ {
+			q.requantPositions(acc, out.data, sp, chunks, t)
 		}
 		return out, nil
 	}
-	tensor.ParallelFor(n*q.outC, func(t int) { q.requantPlane(acc, out.data, sp, t) })
+	tensor.ParallelFor(n*chunks, func(t int) { q.requantPositions(acc, out.data, sp, chunks, t) })
 	return out, nil
 }
 
-// requantPlane requantizes one (sample, channel) plane of the
-// position-major conv accumulator (row per output position, column per
-// channel) into the NCHW output payload.
-func (q *qaffine) requantPlane(acc []int32, dst []uint8, sp, t int) {
-	i, oc := t/q.outC, t%q.outC
-	src := acc[i*sp*q.outC+oc:]
-	row := dst[(i*q.outC+oc)*sp : (i*q.outC+oc+1)*sp]
+// requantChunk is the position-tile width of the conv requantization.
+// The accumulator is position-major (row per output position, column per
+// channel), the output NCHW (plane per channel): requantizing a whole
+// channel plane at once would re-stream the entire accumulator per
+// channel (each int32 read strided by outC), so instead each task
+// requantizes every channel of a 256-position tile — the tile's
+// accumulator rows (256·outC int32) stay in L1 while all outC planes
+// consume them.
+const requantChunk = 256
+
+// requantPositions requantizes all channels of one sample's position
+// tile into the NCHW output payload.
+func (q *qaffine) requantPositions(acc []int32, dst []uint8, sp, chunks, t int) {
+	i, ch := t/chunks, t%chunks
+	p0 := ch * requantChunk
+	p1 := p0 + requantChunk
+	if p1 > sp {
+		p1 = sp
+	}
 	lo := int32(0)
 	if q.relu {
 		lo = q.out.zero
 	}
 	zy := int64(q.out.zero)
-	corr, m0, rsh := q.corr[oc], q.m0[oc], q.rsh[oc]
-	for j := range row {
-		a := src[j*q.outC]
-		row[j] = clampU8(requantize(int64(a)+corr, m0, rsh)+zy, lo)
+	for oc := 0; oc < q.outC; oc++ {
+		corr, m0, rsh := q.corr[oc], q.m0[oc], q.rsh[oc]
+		src := acc[(i*sp+p0)*q.outC+oc:]
+		row := dst[(i*q.outC+oc)*sp+p0 : (i*q.outC+oc)*sp+p1]
+		for j := range row {
+			a := src[j*q.outC]
+			row[j] = clampU8(requantize(int64(a)+corr, m0, rsh)+zy, lo)
+		}
 	}
 }
 

@@ -58,6 +58,7 @@ func CifarNet(cfg Config) (*Model, error) {
 	return &Model{
 		Name: name, Net: nn.NewSequential(name, layers...),
 		InC: 3, InH: cfg.InputSize, InW: cfg.InputSize, Class: cfg.Classes,
+		Width: cfg.Width,
 	}, nil
 }
 
@@ -106,6 +107,7 @@ func VGGSmall(cfg Config) (*Model, error) {
 	return &Model{
 		Name: name, Net: nn.NewSequential(name, layers...),
 		InC: 3, InH: cfg.InputSize, InW: cfg.InputSize, Class: cfg.Classes,
+		Width: cfg.Width,
 	}, nil
 }
 
@@ -185,5 +187,6 @@ func SmallCNN(cfg Config) (*Model, error) {
 	return &Model{
 		Name: name, Net: nn.NewSequential(name, layers...),
 		InC: 3, InH: cfg.InputSize, InW: cfg.InputSize, Class: cfg.Classes,
+		Width: cfg.Width,
 	}, nil
 }

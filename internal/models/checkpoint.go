@@ -17,9 +17,13 @@ import (
 // running statistics are captured alongside so a loaded model evaluates
 // identically.
 //
-// The format is a gob stream of one checkpointFile. Loading restores into
-// an existing model of the same architecture, matching parameters by
-// name.
+// The format is a gob stream of one checkpointFile. The header records
+// the architecture (the Build registry name, which Save has always
+// written) and, since this revision, the width multiplier — enough for
+// LoadAuto to rebuild the matching backbone without the caller naming
+// it. Loading restores into a model of the same architecture, matching
+// parameters by name. Legacy checkpoints without the width field decode
+// with Width 0 and fall back to the caller's value (or the default 1).
 
 type paramRecord struct {
 	Name   string
@@ -38,13 +42,14 @@ type bnRecord struct {
 
 type checkpointFile struct {
 	Model  string
+	Width  float64 // width multiplier; 0 in legacy checkpoints
 	Params []paramRecord
 	BN     []bnRecord
 }
 
 // Save writes the model's state to w.
 func Save(w io.Writer, m *Model) error {
-	file := checkpointFile{Model: m.Name}
+	file := checkpointFile{Model: m.Name, Width: m.Width}
 	for _, p := range m.Params() {
 		rec := paramRecord{Name: p.Name, Shape: p.Value.Shape(), Bits: p.Bits()}
 		if p.Q != nil && !p.Q.FullPrecision() {
@@ -78,6 +83,44 @@ func Load(r io.Reader, m *Model) error {
 	if err := gob.NewDecoder(r).Decode(&file); err != nil {
 		return fmt.Errorf("models: decode checkpoint: %w", err)
 	}
+	return restore(&file, m)
+}
+
+// LoadAuto decodes a checkpoint, builds the architecture its header
+// names, and restores the state into it — the serving-side entry point
+// that makes explicit -arch/-width flags optional. arch and width, when
+// non-zero, override the header (the only way to load a legacy
+// checkpoint written before the width field existed at a non-default
+// width); cfg supplies the remaining build parameters and its own Width
+// is ignored.
+func LoadAuto(r io.Reader, arch string, width float64, cfg Config) (*Model, error) {
+	var file checkpointFile
+	if err := gob.NewDecoder(r).Decode(&file); err != nil {
+		return nil, fmt.Errorf("models: decode checkpoint: %w", err)
+	}
+	if arch == "" {
+		if file.Model == "" {
+			return nil, fmt.Errorf("models: checkpoint has no architecture header; pass one explicitly")
+		}
+		arch = file.Model
+	}
+	if width == 0 {
+		width = file.Width // 0 in legacy checkpoints: Config.fill defaults it to 1
+	}
+	cfg.Width = width
+	m, err := Build(arch, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := restore(&file, m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// restore copies a decoded checkpoint into m, which must match its
+// architecture (model name, parameter names and shapes).
+func restore(file *checkpointFile, m *Model) error {
 	if file.Model != m.Name {
 		return fmt.Errorf("models: checkpoint is for %q, model is %q", file.Model, m.Name)
 	}

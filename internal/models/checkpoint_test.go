@@ -2,6 +2,7 @@ package models
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"testing"
 
@@ -178,3 +179,59 @@ func TestBNStatsRestored(t *testing.T) {
 }
 
 var _ = nn.Param{}
+
+// TestLoadAutoInfersArchAndWidth checks the checkpoint header end to
+// end: a model saved at a non-default width is rebuilt by LoadAuto with
+// no overrides, explicit overrides still apply, and a legacy checkpoint
+// (no width field — gob omits zero values, so Width 0 is exactly what an
+// old file decodes to) falls back to the caller's width.
+func TestLoadAutoInfersArchAndWidth(t *testing.T) {
+	cfg := Config{Classes: 4, InputSize: 12, Width: 0.5, Seed: 3}
+	m, err := SmallCNN(cfg)
+	if err != nil {
+		t.Fatalf("SmallCNN: %v", err)
+	}
+	if m.Width != 0.5 {
+		t.Fatalf("Model.Width = %g, want 0.5", m.Width)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, m); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+
+	got, err := LoadAuto(bytes.NewReader(buf.Bytes()), "", 0, Config{Classes: 4, InputSize: 12, Seed: 99})
+	if err != nil {
+		t.Fatalf("LoadAuto: %v", err)
+	}
+	if got.Name != "smallcnn" || got.Width != 0.5 {
+		t.Fatalf("LoadAuto rebuilt %q width %g, want smallcnn width 0.5", got.Name, got.Width)
+	}
+	for i, p := range m.Params() {
+		q := got.Params()[i]
+		if !bytes.Equal(f32Bytes(p.Value.Data()), f32Bytes(q.Value.Data())) {
+			t.Fatalf("parameter %s differs after LoadAuto", p.Name)
+		}
+	}
+
+	// Explicit overrides matching the header load too.
+	if _, err := LoadAuto(bytes.NewReader(buf.Bytes()), "smallcnn", 0.5, Config{Classes: 4, InputSize: 12}); err != nil {
+		t.Fatalf("LoadAuto with matching overrides: %v", err)
+	}
+	// A wrong arch override fails on the architecture check.
+	if _, err := LoadAuto(bytes.NewReader(buf.Bytes()), "cifarnet", 0.5, Config{Classes: 4, InputSize: 12}); err == nil {
+		t.Error("LoadAuto with mismatched arch override did not error")
+	}
+	// A wrong width override fails on parameter shapes.
+	if _, err := LoadAuto(bytes.NewReader(buf.Bytes()), "", 1, Config{Classes: 4, InputSize: 12}); err == nil {
+		t.Error("LoadAuto with mismatched width override did not error")
+	}
+}
+
+func f32Bytes(v []float32) []byte {
+	out := make([]byte, 0, 4*len(v))
+	for _, f := range v {
+		u := math.Float32bits(f)
+		out = append(out, byte(u), byte(u>>8), byte(u>>16), byte(u>>24))
+	}
+	return out
+}

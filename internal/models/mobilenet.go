@@ -74,6 +74,7 @@ func MobileNetV2(cfg Config) (*Model, error) {
 	return &Model{
 		Name: name, Net: nn.NewSequential(name, layers...),
 		InC: 3, InH: cfg.InputSize, InW: cfg.InputSize, Class: cfg.Classes,
+		Width: cfg.Width,
 	}, nil
 }
 

@@ -14,7 +14,10 @@ import (
 	"repro/internal/tensor"
 )
 
-// Model couples a network with its input geometry.
+// Model couples a network with its input geometry. Name is the registry
+// name Build accepts and Width the multiplier the backbone was built
+// with; together they are the architecture header a checkpoint carries
+// so loaders can rebuild the matching backbone without being told.
 type Model struct {
 	Name  string
 	Net   *nn.Sequential
@@ -22,6 +25,7 @@ type Model struct {
 	InH   int
 	InW   int
 	Class int
+	Width float64
 }
 
 // Params returns all learnable parameters of the network.
@@ -127,6 +131,7 @@ func ResNet(depth int, cfg Config) (*Model, error) {
 	return &Model{
 		Name: name, Net: nn.NewSequential(name, layers...),
 		InC: 3, InH: cfg.InputSize, InW: cfg.InputSize, Class: cfg.Classes,
+		Width: cfg.Width,
 	}, nil
 }
 

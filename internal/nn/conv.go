@@ -32,6 +32,13 @@ type Conv2D struct {
 	dw    arenaTensor // (outC, kdim) weight-gradient scratch
 	out   arenaTensor // (N, outC, OH, OW)
 	dx    arenaTensor // (N, inC, InH, InW)
+
+	// pb is the layer's packed-operand arena for the two wide GEMMs
+	// (forward product and backward column gradients): the B matrix is
+	// repacked into it every call — the contents are per-call, only the
+	// storage is reused — so the packed micro-kernel path allocates
+	// nothing at steady state and skips the shared pack pool.
+	pb tensor.PackedF32
 }
 
 // Conv2DConfig configures NewConv2D.
@@ -106,8 +113,20 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
 	if err := tensor.Im2ColBatchInto(cols, x, c.geom); err != nil {
 		return nil, fmt.Errorf("conv2d %q: %w", c.name, err)
 	}
+	// Forward GEMM: (outC, kdim)·(kdim, N·S). Wide enough shapes pack the
+	// column matrix into the layer arena and run the register-blocked
+	// micro-kernels; narrow ones (tiny outC at small width multipliers)
+	// keep the direct AXPY path, same rule the generic MatMul routing
+	// applies.
 	prod := c.gemm.get(c.outC, n*s)
-	if err := tensor.MatMulInto(prod, w2d, cols); err != nil {
+	if tensor.PackWorthF32(c.outC, kdim, n*s) {
+		if err := c.pb.PackB(cols.Data(), kdim, n*s); err != nil {
+			return nil, fmt.Errorf("conv2d %q: %w", c.name, err)
+		}
+		if err := tensor.MatMulF32PackedInto(prod.Data(), w2d.Data(), &c.pb, c.outC, kdim); err != nil {
+			return nil, fmt.Errorf("conv2d %q: %w", c.name, err)
+		}
+	} else if err := tensor.MatMulInto(prod, w2d, cols); err != nil {
 		return nil, fmt.Errorf("conv2d %q: %w", c.name, err)
 	}
 
@@ -186,8 +205,18 @@ func (c *Conv2D) Backward(dout *tensor.Tensor) (*tensor.Tensor, error) {
 	}
 
 	// dcols = Wᵀ · dout2d → (kdim, N·S), scattered back to image space.
+	// Like the forward product, wide shapes pack dout2d into the layer
+	// arena (free after the dW product above) and run the transposed-A
+	// packed kernel.
 	dcols := c.dcols.get(kdim, n*s)
-	if err := tensor.MatMulTransAInto(dcols, w2d, d2d); err != nil {
+	if tensor.PackWorthF32(kdim, c.outC, n*s) {
+		if err := c.pb.PackB(d2d.Data(), c.outC, n*s); err != nil {
+			return nil, fmt.Errorf("conv2d %q: %w", c.name, err)
+		}
+		if err := tensor.MatMulF32PackedTransAInto(dcols.Data(), w2d.Data(), &c.pb, kdim, kdim); err != nil {
+			return nil, fmt.Errorf("conv2d %q: %w", c.name, err)
+		}
+	} else if err := tensor.MatMulTransAInto(dcols, w2d, d2d); err != nil {
 		return nil, fmt.Errorf("conv2d %q: %w", c.name, err)
 	}
 	dx := c.dx.get(c.inShape...)

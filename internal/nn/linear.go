@@ -20,6 +20,12 @@ type Linear struct {
 	outA arenaTensor // (N, out)
 	dxA  arenaTensor // (N, in)
 	dwA  arenaTensor // (out, in)
+
+	// pb is the packed-operand arena for the weight-sided GEMMs (forward
+	// x·Wᵀ and backward dout·W): W is repacked into it each call — the
+	// weights change every optimizer step, so the panels cannot be cached
+	// across steps — and only the storage is reused.
+	pb tensor.PackedF32
 }
 
 // NewLinear constructs a fully-connected layer with He-normal weights.
@@ -58,7 +64,14 @@ func (l *Linear) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
 	l.x = x
 	n := x.Dim(0)
 	out := l.outA.get(n, l.out)
-	if err := tensor.MatMulTransBInto(out, x, l.weight.Value); err != nil { // (N,in)·(out,in)ᵀ
+	if tensor.PackWorthF32(n, l.in, l.out) { // (N,in)·(out,in)ᵀ on the packed micro-kernels
+		if err := l.pb.PackBT(l.weight.Value.Data(), l.in, l.out); err != nil {
+			return nil, fmt.Errorf("linear %q: %w", l.name, err)
+		}
+		if err := tensor.MatMulF32PackedInto(out.Data(), x.Data(), &l.pb, n, l.in); err != nil {
+			return nil, fmt.Errorf("linear %q: %w", l.name, err)
+		}
+	} else if err := tensor.MatMulTransBInto(out, x, l.weight.Value); err != nil {
 		return nil, fmt.Errorf("linear %q: %w", l.name, err)
 	}
 	if l.bias != nil {
@@ -103,7 +116,14 @@ func (l *Linear) Backward(dout *tensor.Tensor) (*tensor.Tensor, error) {
 	}
 	// dx = dout · W → (N, in)
 	dx := l.dxA.get(dout.Dim(0), l.in)
-	if err := tensor.MatMulInto(dx, dout, l.weight.Value); err != nil {
+	if tensor.PackWorthF32(dout.Dim(0), l.out, l.in) {
+		if err := l.pb.PackB(l.weight.Value.Data(), l.out, l.in); err != nil {
+			return nil, fmt.Errorf("linear %q: %w", l.name, err)
+		}
+		if err := tensor.MatMulF32PackedInto(dx.Data(), dout.Data(), &l.pb, dout.Dim(0), l.out); err != nil {
+			return nil, fmt.Errorf("linear %q: %w", l.name, err)
+		}
+	} else if err := tensor.MatMulInto(dx, dout, l.weight.Value); err != nil {
 		return nil, fmt.Errorf("linear %q: %w", l.name, err)
 	}
 	l.x = nil

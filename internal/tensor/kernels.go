@@ -72,6 +72,68 @@ func axpy1Go(dst, b []float32, a float32) {
 	}
 }
 
+// f32Panel4Go is the portable 4×16 packed-panel micro-kernel: one
+// accumulator per output element, k ascending — the same order as the
+// FMA assembly, so the two agree to float32 rounding (the assembly fuses
+// each multiply-add into one rounding; see matmul_packed.go). Row r,
+// tap q of the operand lives at a[r*ars + q*aks].
+func f32Panel4Go(dst, a, panel []float32, m, k, ars, aks, ldd int) {
+	for i := 0; i+3 < m; i += 4 {
+		a0 := a[(i+0)*ars:]
+		a1 := a[(i+1)*ars:]
+		a2 := a[(i+2)*ars:]
+		a3 := a[(i+3)*ars:]
+		var c0, c1, c2, c3 [16]float32
+		for q := 0; q < k; q++ {
+			pq := panel[q*16 : q*16+16 : q*16+16]
+			v0, v1, v2, v3 := a0[q*aks], a1[q*aks], a2[q*aks], a3[q*aks]
+			for j := 0; j < 16; j++ {
+				w := pq[j]
+				c0[j] += v0 * w
+				c1[j] += v1 * w
+				c2[j] += v2 * w
+				c3[j] += v3 * w
+			}
+		}
+		copy(dst[(i+0)*ldd:(i+0)*ldd+16], c0[:])
+		copy(dst[(i+1)*ldd:(i+1)*ldd+16], c1[:])
+		copy(dst[(i+2)*ldd:(i+2)*ldd+16], c2[:])
+		copy(dst[(i+3)*ldd:(i+3)*ldd+16], c3[:])
+	}
+}
+
+// f32Panel1Go is the portable one-row packed-panel kernel (writes
+// dst[0:16]); same accumulation order as f32Panel4Go.
+func f32Panel1Go(dst, a, panel []float32, k, aks int) {
+	var c [16]float32
+	for q := 0; q < k; q++ {
+		pq := panel[q*16 : q*16+16 : q*16+16]
+		v := a[q*aks]
+		for j := 0; j < 16; j++ {
+			c[j] += v * pq[j]
+		}
+	}
+	copy(dst[:16], c[:])
+}
+
+// f32PanelEdgeGo handles the right-edge partial panel (nr < 16 valid
+// columns); always portable — the zero-padded panel tail would make the
+// 16-wide kernels write past dst.
+func f32PanelEdgeGo(dst, a, panel []float32, m, k, ars, aks, ldd, nr int) {
+	for i := 0; i < m; i++ {
+		var c [16]float32
+		ar := a[i*ars:]
+		for q := 0; q < k; q++ {
+			pq := panel[q*16 : q*16+16 : q*16+16]
+			v := ar[q*aks]
+			for j := 0; j < nr; j++ {
+				c[j] += v * pq[j]
+			}
+		}
+		copy(dst[i*ldd:i*ldd+nr], c[:nr])
+	}
+}
+
 func dotGo(a, b []float32) float32 {
 	b = b[:len(a)]
 	// Four partial sums break the add dependency chain; the same shape the

@@ -32,6 +32,18 @@ func packedGEMMFastAVX2(dst *int32, a *uint8, panel *int8, m, kq, lda, ldd int)
 //go:noescape
 func packedGEMMWideAVX2(dst *int32, a *uint8, panel *int8, m, kq, lda, ldd int)
 
+//go:noescape
+func packedGEMMFast4AVX2(dst *int32, a *uint8, panel *int8, m, kq, lda, ldd int)
+
+//go:noescape
+func packedGEMMWide4AVX2(dst *int32, a *uint8, panel *int8, m, kq, lda, ldd int)
+
+//go:noescape
+func packedF32GEMM4x16FMA(dst, a, panel *float32, m, k, ars, aks, ldd int)
+
+//go:noescape
+func packedF32GEMM1x16FMA(dst, a, panel *float32, k, aks int)
+
 // hasFMA reports whether AVX2+FMA kernels are usable on this CPU/OS.
 var hasFMA = detectFMA()
 
@@ -76,6 +88,8 @@ func applySIMDAmd64(on bool) {
 	if !on {
 		axpy4, axpy1, dot = axpy4Go, axpy1Go, dotGo
 		packedAsmFast, packedAsmWide = nil, nil
+		packedAsmFast4, packedAsmWide4 = nil, nil
+		f32Panel4, f32Panel1 = f32Panel4Go, f32Panel1Go
 		return
 	}
 	axpy4 = axpy4Asm
@@ -83,6 +97,10 @@ func applySIMDAmd64(on bool) {
 	dot = dotAsm
 	packedAsmFast = packedFastAsm
 	packedAsmWide = packedWideAsm
+	packedAsmFast4 = packedFast4Asm
+	packedAsmWide4 = packedWide4Asm
+	f32Panel4 = f32Panel4Asm
+	f32Panel1 = f32Panel1Asm
 }
 
 func axpy4Asm(dst, b0, b1, b2, b3 []float32, a0, a1, a2, a3 float32) {
@@ -129,4 +147,35 @@ func packedWideAsm(dst []int32, a []uint8, panel []int8, m, kq, lda, ldd int) {
 	_ = dst[(m-1)*ldd+7]
 	_ = panel[kq*32-1]
 	packedGEMMWideAVX2(&dst[0], &a[0], &panel[0], m, kq, lda, ldd)
+}
+
+func packedFast4Asm(dst []int32, a []uint8, panel []int8, m, kq, lda, ldd int) {
+	// m is a positive multiple of 4 (asserted by the caller's row split).
+	_ = a[(m-1)*lda+4*kq-1]
+	_ = dst[(m-1)*ldd+7]
+	_ = panel[kq*32-1]
+	packedGEMMFast4AVX2(&dst[0], &a[0], &panel[0], m, kq, lda, ldd)
+}
+
+func packedWide4Asm(dst []int32, a []uint8, panel []int8, m, kq, lda, ldd int) {
+	_ = a[(m-1)*lda+4*kq-1]
+	_ = dst[(m-1)*ldd+7]
+	_ = panel[kq*32-1]
+	packedGEMMWide4AVX2(&dst[0], &a[0], &panel[0], m, kq, lda, ldd)
+}
+
+func f32Panel4Asm(dst, a, panel []float32, m, k, ars, aks, ldd int) {
+	// m is a positive multiple of 4; each row reads k strided taps of a
+	// and writes 16 consecutive dst floats.
+	_ = a[(m-1)*ars+(k-1)*aks]
+	_ = dst[(m-1)*ldd+15]
+	_ = panel[k*16-1]
+	packedF32GEMM4x16FMA(&dst[0], &a[0], &panel[0], m, k, ars, aks, ldd)
+}
+
+func f32Panel1Asm(dst, a, panel []float32, k, aks int) {
+	_ = a[(k-1)*aks]
+	_ = dst[15]
+	_ = panel[k*16-1]
+	packedF32GEMM1x16FMA(&dst[0], &a[0], &panel[0], k, aks)
 }

@@ -212,3 +212,110 @@ done:
 	VZEROUPPER
 	MOVSS X0, ret+24(FP)
 	RET
+
+// func packedF32GEMM4x16FMA(dst, a, panel *float32, m, k, ars, aks, ldd int)
+//
+// Register-blocked 4×16 micro-kernel over a packed column panel (see
+// matmul_packed.go for the layout). m must be a positive multiple of 4;
+// all strides are in float32 units. Y0–Y7 hold the four rows' two-YMM
+// accumulators across the whole k loop, so each packed panel row (two
+// 32-byte loads) is multiplied against all four rows and dst is written
+// exactly once per tile — no dst reload/restore per k tap, unlike the
+// AXPY kernels. Operand row r, tap q is read at a[r·ars + q·aks], which
+// serves both the normal (ars=lda, aks=1) and transposed-A (ars=1,
+// aks=lda) orientations with the same code.
+TEXT ·packedF32GEMM4x16FMA(SB), NOSPLIT, $0-64
+	MOVQ dst+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ panel+16(FP), DX
+	MOVQ m+24(FP), R8
+	SHRQ $2, R8               // four-row groups
+	MOVQ k+32(FP), R9
+	MOVQ ars+40(FP), R10
+	SHLQ $2, R10              // row stride in bytes
+	MOVQ aks+48(FP), R14
+	SHLQ $2, R14              // k stride in bytes
+	MOVQ ldd+56(FP), R11
+	SHLQ $2, R11              // dst row stride in bytes
+	LEAQ (R10)(R10*2), R13    // 3·ars bytes
+	LEAQ (R11)(R11*2), R15    // 3·ldd bytes
+
+grouploop:
+	TESTQ  R8, R8
+	JZ     done
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	VXORPS Y4, Y4, Y4
+	VXORPS Y5, Y5, Y5
+	VXORPS Y6, Y6, Y6
+	VXORPS Y7, Y7, Y7
+	MOVQ   SI, R12            // a cursor (row 0; rows 1–3 via ars offsets)
+	MOVQ   DX, BX             // panel cursor
+	MOVQ   R9, CX
+
+kloop:
+	VMOVUPS      (BX), Y8     // panel row, loaded once per 4 rows
+	VMOVUPS      32(BX), Y9
+	VBROADCASTSS (R12), Y10
+	VFMADD231PS  Y8, Y10, Y0
+	VFMADD231PS  Y9, Y10, Y1
+	VBROADCASTSS (R12)(R10*1), Y10
+	VFMADD231PS  Y8, Y10, Y2
+	VFMADD231PS  Y9, Y10, Y3
+	VBROADCASTSS (R12)(R10*2), Y10
+	VFMADD231PS  Y8, Y10, Y4
+	VFMADD231PS  Y9, Y10, Y5
+	VBROADCASTSS (R12)(R13*1), Y10
+	VFMADD231PS  Y8, Y10, Y6
+	VFMADD231PS  Y9, Y10, Y7
+	ADDQ R14, R12
+	ADDQ $64, BX
+	DECQ CX
+	JNZ  kloop
+
+	VMOVUPS Y0, (DI)
+	VMOVUPS Y1, 32(DI)
+	VMOVUPS Y2, (DI)(R11*1)
+	VMOVUPS Y3, 32(DI)(R11*1)
+	VMOVUPS Y4, (DI)(R11*2)
+	VMOVUPS Y5, 32(DI)(R11*2)
+	VMOVUPS Y6, (DI)(R15*1)
+	VMOVUPS Y7, 32(DI)(R15*1)
+	LEAQ    (SI)(R10*4), SI
+	LEAQ    (DI)(R11*4), DI
+	DECQ    R8
+	JMP     grouploop
+
+done:
+	VZEROUPPER
+	RET
+
+// func packedF32GEMM1x16FMA(dst, a, panel *float32, k, aks int)
+//
+// One-row remainder kernel: 16 accumulators in Y0/Y1, panel rows
+// consumed as FMA memory operands, dst[0:16] written once.
+TEXT ·packedF32GEMM1x16FMA(SB), NOSPLIT, $0-40
+	MOVQ dst+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ panel+16(FP), BX
+	MOVQ k+24(FP), CX
+	MOVQ aks+32(FP), R14
+	SHLQ $2, R14
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+
+kloop:
+	VBROADCASTSS (SI), Y10
+	VFMADD231PS  (BX), Y10, Y0
+	VFMADD231PS  32(BX), Y10, Y1
+	ADDQ R14, SI
+	ADDQ $64, BX
+	DECQ CX
+	JNZ  kloop
+
+	VMOVUPS Y0, (DI)
+	VMOVUPS Y1, 32(DI)
+	VZEROUPPER
+	RET

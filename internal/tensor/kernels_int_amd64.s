@@ -21,6 +21,15 @@
 // VPMOVSXBW) and accumulates VPMADDWD products — exact for any weights
 // (|255·w0| + |255·w1| always fits int32). It holds column pair-sums in
 // an interleaved order and fixes up with VPHADDD+VPERMQ once per row.
+//
+// packedGEMMFast4AVX2 / packedGEMMWide4AVX2 are the register-blocked
+// multi-row shapes (m must be a positive multiple of 4): four activation
+// rows' int32 accumulators stay in YMM registers across the k loop, so
+// every packed panel quad is loaded from L1 ONCE and multiplied against
+// all four rows — 4× fewer B-panel loads than running the one-row kernel
+// four times, which is what bounds the one-row kernels (two load-port
+// µops per row-quad against a two-port machine). The remainder rows
+// (m mod 4) take the one-row kernels above.
 
 // func packedGEMMFastAVX2(dst *int32, a *uint8, panel *int8, m, kq, lda, ldd int)
 TEXT ·packedGEMMFastAVX2(SB), NOSPLIT, $0-56
@@ -128,6 +137,207 @@ rowend:
 	ADDQ    R10, SI
 	DECQ    R8
 	JMP     rowloop
+
+done:
+	VZEROUPPER
+	RET
+
+// func packedGEMMFast4AVX2(dst *int32, a *uint8, panel *int8, m, kq, lda, ldd int)
+//
+// Four-row register-blocked VPMADDUBSW kernel; m must be a positive
+// multiple of 4. Y0–Y3 hold the four rows' int32 accumulators, Y6 holds
+// the panel quad shared by all four rows, Y7 the int16 ones. Same
+// saturation precondition as packedGEMMFastAVX2.
+TEXT ·packedGEMMFast4AVX2(SB), NOSPLIT, $0-56
+	MOVQ dst+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ panel+16(FP), DX
+	MOVQ m+24(FP), R8
+	SHRQ $2, R8               // four-row groups
+	MOVQ kq+32(FP), R9
+	MOVQ lda+40(FP), R10
+	MOVQ ldd+48(FP), R11
+	SHLQ $2, R11              // dst row stride in bytes
+	LEAQ (R10)(R10*2), R13    // 3·lda
+	LEAQ (R11)(R11*2), R15    // 3·ldd bytes
+
+	// Y7 = 16 × int16(1) for the VPMADDWD pair-collapse.
+	VPCMPEQW Y7, Y7, Y7
+	VPSRLW   $15, Y7, Y7
+
+grouploop:
+	TESTQ R8, R8
+	JZ    done
+	VPXOR Y0, Y0, Y0
+	VPXOR Y1, Y1, Y1
+	VPXOR Y2, Y2, Y2
+	VPXOR Y3, Y3, Y3
+	MOVQ  SI, R12             // a cursor (row 0; rows 1–3 via lda offsets)
+	MOVQ  DX, BX              // panel cursor
+	MOVQ  R9, CX
+
+pair:                             // two k-quads per iteration
+	CMPQ CX, $2
+	JLT  quad1
+	VMOVDQU      (BX), Y6     // even panel quad, loaded once per 4 rows
+	VMOVDQU      32(BX), Y12  // odd panel quad
+	VPBROADCASTD (R12), Y4
+	VPMADDUBSW   Y6, Y4, Y5
+	VPMADDWD     Y7, Y5, Y5
+	VPADDD       Y5, Y0, Y0
+	VPBROADCASTD 4(R12), Y4
+	VPMADDUBSW   Y12, Y4, Y5
+	VPMADDWD     Y7, Y5, Y5
+	VPADDD       Y5, Y0, Y0
+	VPBROADCASTD (R12)(R10*1), Y4
+	VPMADDUBSW   Y6, Y4, Y5
+	VPMADDWD     Y7, Y5, Y5
+	VPADDD       Y5, Y1, Y1
+	VPBROADCASTD 4(R12)(R10*1), Y4
+	VPMADDUBSW   Y12, Y4, Y5
+	VPMADDWD     Y7, Y5, Y5
+	VPADDD       Y5, Y1, Y1
+	VPBROADCASTD (R12)(R10*2), Y4
+	VPMADDUBSW   Y6, Y4, Y5
+	VPMADDWD     Y7, Y5, Y5
+	VPADDD       Y5, Y2, Y2
+	VPBROADCASTD 4(R12)(R10*2), Y4
+	VPMADDUBSW   Y12, Y4, Y5
+	VPMADDWD     Y7, Y5, Y5
+	VPADDD       Y5, Y2, Y2
+	VPBROADCASTD (R12)(R13*1), Y4
+	VPMADDUBSW   Y6, Y4, Y5
+	VPMADDWD     Y7, Y5, Y5
+	VPADDD       Y5, Y3, Y3
+	VPBROADCASTD 4(R12)(R13*1), Y4
+	VPMADDUBSW   Y12, Y4, Y5
+	VPMADDWD     Y7, Y5, Y5
+	VPADDD       Y5, Y3, Y3
+	ADDQ $8, R12
+	ADDQ $64, BX
+	SUBQ $2, CX
+	JMP  pair
+
+quad1:
+	TESTQ CX, CX
+	JZ    groupend
+	VMOVDQU      (BX), Y6
+	VPBROADCASTD (R12), Y4
+	VPMADDUBSW   Y6, Y4, Y5
+	VPMADDWD     Y7, Y5, Y5
+	VPADDD       Y5, Y0, Y0
+	VPBROADCASTD (R12)(R10*1), Y4
+	VPMADDUBSW   Y6, Y4, Y5
+	VPMADDWD     Y7, Y5, Y5
+	VPADDD       Y5, Y1, Y1
+	VPBROADCASTD (R12)(R10*2), Y4
+	VPMADDUBSW   Y6, Y4, Y5
+	VPMADDWD     Y7, Y5, Y5
+	VPADDD       Y5, Y2, Y2
+	VPBROADCASTD (R12)(R13*1), Y4
+	VPMADDUBSW   Y6, Y4, Y5
+	VPMADDWD     Y7, Y5, Y5
+	VPADDD       Y5, Y3, Y3
+
+groupend:
+	VMOVDQU Y0, (DI)
+	VMOVDQU Y1, (DI)(R11*1)
+	VMOVDQU Y2, (DI)(R11*2)
+	VMOVDQU Y3, (DI)(R15*1)
+	LEAQ    (SI)(R10*4), SI
+	LEAQ    (DI)(R11*4), DI
+	DECQ    R8
+	JMP     grouploop
+
+done:
+	VZEROUPPER
+	RET
+
+// func packedGEMMWide4AVX2(dst *int32, a *uint8, panel *int8, m, kq, lda, ldd int)
+//
+// Four-row exact widening kernel; m must be a positive multiple of 4.
+// Y0–Y7 hold the rows' interleaved column pair-sums (two registers per
+// row), Y8/Y9 the sign-extended panel halves shared by all four rows,
+// Y10 the zero-extended activation quad, Y11 the product. Exact for any
+// weights, like packedGEMMWideAVX2.
+TEXT ·packedGEMMWide4AVX2(SB), NOSPLIT, $0-56
+	MOVQ dst+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ panel+16(FP), DX
+	MOVQ m+24(FP), R8
+	SHRQ $2, R8
+	MOVQ kq+32(FP), R9
+	MOVQ lda+40(FP), R10
+	MOVQ ldd+48(FP), R11
+	SHLQ $2, R11
+	LEAQ (R10)(R10*2), R13    // 3·lda
+	LEAQ (R11)(R11*2), R15    // 3·ldd bytes
+
+grouploop:
+	TESTQ R8, R8
+	JZ    done
+	VPXOR Y0, Y0, Y0
+	VPXOR Y1, Y1, Y1
+	VPXOR Y2, Y2, Y2
+	VPXOR Y3, Y3, Y3
+	VPXOR Y4, Y4, Y4
+	VPXOR Y5, Y5, Y5
+	VPXOR Y6, Y6, Y6
+	VPXOR Y7, Y7, Y7
+	MOVQ  SI, R12
+	MOVQ  DX, BX
+	MOVQ  R9, CX
+
+quad:
+	VPMOVSXBW    (BX), Y8     // panel cols 0–3 as int16, loaded once
+	VPMOVSXBW    16(BX), Y9   // panel cols 4–7
+	VPBROADCASTD (R12), X10
+	VPMOVZXBW    X10, Y10     // row 0 activations widened
+	VPMADDWD     Y10, Y8, Y11
+	VPADDD       Y11, Y0, Y0
+	VPMADDWD     Y10, Y9, Y11
+	VPADDD       Y11, Y1, Y1
+	VPBROADCASTD (R12)(R10*1), X10
+	VPMOVZXBW    X10, Y10
+	VPMADDWD     Y10, Y8, Y11
+	VPADDD       Y11, Y2, Y2
+	VPMADDWD     Y10, Y9, Y11
+	VPADDD       Y11, Y3, Y3
+	VPBROADCASTD (R12)(R10*2), X10
+	VPMOVZXBW    X10, Y10
+	VPMADDWD     Y10, Y8, Y11
+	VPADDD       Y11, Y4, Y4
+	VPMADDWD     Y10, Y9, Y11
+	VPADDD       Y11, Y5, Y5
+	VPBROADCASTD (R12)(R13*1), X10
+	VPMOVZXBW    X10, Y10
+	VPMADDWD     Y10, Y8, Y11
+	VPADDD       Y11, Y6, Y6
+	VPMADDWD     Y10, Y9, Y11
+	VPADDD       Y11, Y7, Y7
+	ADDQ $4, R12
+	ADDQ $32, BX
+	DECQ CX
+	JNZ  quad
+
+	// Per row: fold pair-sums and restore column order (see the one-row
+	// kernel's rowend comment).
+	VPHADDD Y1, Y0, Y0
+	VPERMQ  $0xD8, Y0, Y0
+	VMOVDQU Y0, (DI)
+	VPHADDD Y3, Y2, Y2
+	VPERMQ  $0xD8, Y2, Y2
+	VMOVDQU Y2, (DI)(R11*1)
+	VPHADDD Y5, Y4, Y4
+	VPERMQ  $0xD8, Y4, Y4
+	VMOVDQU Y4, (DI)(R11*2)
+	VPHADDD Y7, Y6, Y6
+	VPERMQ  $0xD8, Y6, Y6
+	VMOVDQU Y6, (DI)(R15*1)
+	LEAQ    (SI)(R10*4), SI
+	LEAQ    (DI)(R11*4), DI
+	DECQ    R8
+	JMP     grouploop
 
 done:
 	VZEROUPPER

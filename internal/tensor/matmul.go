@@ -73,7 +73,26 @@ func MatMulInto(dst, a, b *Tensor) error {
 // no zero-skip branch: on real weight and activation matrices the branch
 // mispredicts far more than it saves (sparse fast paths live only where
 // gradients are provably sparse, e.g. ReLU-masked depthwise backward).
+//
+// When the shape amortizes it (PackWorthF32), B is repacked per call into
+// pooled column panels and the product runs the register-blocked 4×16
+// micro-kernels (matmul_packed.go) instead of the AXPY loop below.
 func matMulKernel(od, ad, bd []float32, m, k, n int) {
+	if PackWorthF32(m, k, n) {
+		pb := f32PackPool.Get().(*PackedF32)
+		if pb.PackB(bd[:k*n], k, n) == nil {
+			matMulF32PackedDriver(od, ad, pb, m, k, 1)
+			f32PackPool.Put(pb)
+			return
+		}
+		f32PackPool.Put(pb)
+	}
+	matMulAXPYKernel(od, ad, bd, m, k, n)
+}
+
+// matMulAXPYKernel is the direct AXPY-shaped path, kept for shapes below
+// the packing threshold.
+func matMulAXPYKernel(od, ad, bd []float32, m, k, n int) {
 	mb, nb := blocks(m, gemmRowBlock), blocks(n, gemmColBlock)
 	ParallelFor(mb*nb, func(t int) {
 		ib, jb := t/nb, t%nb
@@ -130,7 +149,23 @@ func MatMulTransAInto(dst, a, b *Tensor) error {
 
 // matMulTransAKernel computes od = adᵀ·bd where ad is (k, m): identical
 // blocking to matMulKernel, with the A element gathered down a column.
+// Shapes above the packing threshold take the packed micro-kernels — the
+// strided-A orientation reuses the same 4×16 kernel with swapped operand
+// strides (MatMulF32PackedTransAInto).
 func matMulTransAKernel(od, ad, bd []float32, m, k, n int) {
+	if PackWorthF32(m, k, n) {
+		pb := f32PackPool.Get().(*PackedF32)
+		if pb.PackB(bd[:k*n], k, n) == nil {
+			matMulF32PackedDriver(od, ad, pb, m, 1, m)
+			f32PackPool.Put(pb)
+			return
+		}
+		f32PackPool.Put(pb)
+	}
+	matMulTransAAXPYKernel(od, ad, bd, m, k, n)
+}
+
+func matMulTransAAXPYKernel(od, ad, bd []float32, m, k, n int) {
 	mb, nb := blocks(m, gemmRowBlock), blocks(n, gemmColBlock)
 	ParallelFor(mb*nb, func(t int) {
 		ib, jb := t/nb, t%nb
@@ -184,10 +219,21 @@ func MatMulTransBInto(dst, a, b *Tensor) error {
 	return nil
 }
 
-// matMulTransBKernel computes od = ad·bdᵀ where bd is (n, k). Both operands
-// are traversed along contiguous k-rows, so each output element is one
-// SIMD-friendly inner product.
+// matMulTransBKernel computes od = ad·bdᵀ where bd is (n, k). Below the
+// packing threshold both operands are traversed along contiguous k-rows,
+// each output element one SIMD-friendly inner product; larger shapes pack
+// bdᵀ into column panels so B is streamed once per four output rows
+// instead of once per row.
 func matMulTransBKernel(od, ad, bd []float32, m, k, n int) {
+	if PackWorthF32(m, k, n) {
+		pb := f32PackPool.Get().(*PackedF32)
+		if pb.PackBT(bd[:n*k], k, n) == nil {
+			matMulF32PackedDriver(od, ad, pb, m, k, 1)
+			f32PackPool.Put(pb)
+			return
+		}
+		f32PackPool.Put(pb)
+	}
 	ParallelFor(m, func(i int) {
 		arow := ad[i*k : (i+1)*k]
 		orow := od[i*n : (i+1)*n]

@@ -287,45 +287,113 @@ func Im2ColBatchU8PatchesInto(dst, src []uint8, n int, g ConvGeom, pad uint8) er
 	return nil
 }
 
+// im2colU8Patch packs one sample's patch-major rows. The loop nest runs
+// (output row, channel, kernel row) outermost with the output COLUMN
+// innermost, so all per-row decisions — the vertical padding case, the
+// source row slice, the interior x range — are hoisted out of the inner
+// loop, which then does nothing but direct byte stores from a sliding
+// source window (this is the hottest scalar loop of the integer conv
+// path; with the naive position-major nest it cost more than the GEMM
+// it feeds).
 func im2colU8Patch(dst, src []uint8, g ConvGeom, pad uint8, i int) {
 	oh, ow := g.OutHW()
 	kdim := g.InC * g.KH * g.KW
 	inSz := g.InC * g.InH * g.InW
 	img := src[i*inSz : (i+1)*inSz]
 	sp := oh * ow
+	// Interior output columns [xlo, xhi]: every tap reads in-bounds. The
+	// range may be empty (a kernel wider than InW+Pad, e.g. a 7×7 over a
+	// tiny feature map): clamp it to [xlo, xlo-1] so the edge loops cover
+	// every column and neither starts below zero. A negative numerator
+	// means NO column is interior — it must not go through Go's
+	// toward-zero division, which would round (−1)/2 up to 0 and admit
+	// an out-of-bounds column into the unrolled fast path.
+	xlo := (g.Pad + g.Stride - 1) / g.Stride
+	if xlo > ow {
+		xlo = ow
+	}
+	xhi := -1
+	if num := g.InW - g.KW + g.Pad; num >= 0 {
+		xhi = num / g.Stride
+	}
+	if xhi > ow-1 {
+		xhi = ow - 1
+	}
+	if xhi < xlo-1 {
+		xhi = xlo - 1
+	}
 	for oy := 0; oy < oh; oy++ {
-		for ox := 0; ox < ow; ox++ {
-			row := dst[(i*sp+oy*ow+ox)*kdim:][:kdim]
-			ix0 := ox*g.Stride - g.Pad
-			p := 0
-			for c := 0; c < g.InC; c++ {
-				base := c * g.InH * g.InW
-				for kh := 0; kh < g.KH; kh++ {
-					iy := oy*g.Stride + kh - g.Pad
-					if iy < 0 || iy >= g.InH {
-						for t := 0; t < g.KW; t++ {
-							row[p+t] = pad
+		rows := dst[(i*sp+oy*ow)*kdim:][:ow*kdim] // this output row's patch rows
+		p := 0
+		for c := 0; c < g.InC; c++ {
+			base := c * g.InH * g.InW
+			for kh := 0; kh < g.KH; kh++ {
+				iy := oy*g.Stride + kh - g.Pad
+				if iy < 0 || iy >= g.InH {
+					for ox := 0; ox < ow; ox++ {
+						seg := rows[ox*kdim+p:][:g.KW]
+						for t := range seg {
+							seg[t] = pad
 						}
-						p += g.KW
-						continue
 					}
-					srow := img[base+iy*g.InW : base+(iy+1)*g.InW]
-					if ix0 >= 0 && ix0+g.KW <= g.InW {
-						// Interior fast path: the KW taps are consecutive
-						// source bytes.
-						copy(row[p:p+g.KW], srow[ix0:])
-						p += g.KW
-						continue
-					}
-					for t := 0; t < g.KW; t++ {
+					p += g.KW
+					continue
+				}
+				srow := img[base+iy*g.InW : base+(iy+1)*g.InW]
+				edge := func(ox int) { // per-tap checks, left/right borders only
+					ix0 := ox*g.Stride - g.Pad
+					seg := rows[ox*kdim+p:][:g.KW]
+					for t := range seg {
 						if ix := ix0 + t; ix < 0 || ix >= g.InW {
-							row[p] = pad
+							seg[t] = pad
 						} else {
-							row[p] = srow[ix]
+							seg[t] = srow[ix]
 						}
-						p++
 					}
 				}
+				for ox := 0; ox < xlo; ox++ {
+					edge(ox)
+				}
+				// Interior: incremented indices only — no per-iteration
+				// slicing, one multiply-free sliding window.
+				d := xlo*kdim + p
+				sx := xlo*g.Stride - g.Pad
+				switch g.KW {
+				case 3: // the dominant conv kernel: three unrolled stores
+					for ox := xlo; ox <= xhi; ox++ {
+						rows[d] = srow[sx]
+						rows[d+1] = srow[sx+1]
+						rows[d+2] = srow[sx+2]
+						d += kdim
+						sx += g.Stride
+					}
+				case 5:
+					for ox := xlo; ox <= xhi; ox++ {
+						rows[d] = srow[sx]
+						rows[d+1] = srow[sx+1]
+						rows[d+2] = srow[sx+2]
+						rows[d+3] = srow[sx+3]
+						rows[d+4] = srow[sx+4]
+						d += kdim
+						sx += g.Stride
+					}
+				case 1:
+					for ox := xlo; ox <= xhi; ox++ {
+						rows[d] = srow[sx]
+						d += kdim
+						sx += g.Stride
+					}
+				default:
+					for ox := xlo; ox <= xhi; ox++ {
+						copy(rows[d:d+g.KW], srow[sx:])
+						d += kdim
+						sx += g.Stride
+					}
+				}
+				for ox := xhi + 1; ox < ow; ox++ {
+					edge(ox)
+				}
+				p += g.KW
 			}
 		}
 	}

@@ -7,6 +7,10 @@ import "fmt"
 // time) into cache-resident column panels shaped for the AVX2 integer
 // kernels (the gemmlowp layout), so the per-call GEMM streams A rows
 // against contiguous panel bytes instead of striding B every call.
+// Rows run in register-blocked groups of four: the 4×8 micro-kernels
+// hold four rows' int32 accumulators in registers and reuse every
+// loaded panel quad across all four rows (4× fewer B-panel loads than
+// the one-row kernels, which the remainder rows still take).
 //
 // Panel layout: columns are grouped 8 at a time (one YMM register of
 // int32 accumulators) and the k dimension 4 at a time (one 32-bit lane of
@@ -136,9 +140,14 @@ func absI8(v int8) int {
 // Assembly micro-kernels, repointed by the per-arch SIMD dispatch (nil
 // where unavailable). Each computes one full 8-column panel against m
 // operand rows: dst row stride ldd int32s, operand row stride lda bytes.
+// The 4-row variants are the register-blocked shape (m must be a
+// positive multiple of 4): four rows' accumulators live in registers and
+// every panel quad is loaded once per four rows instead of once per row.
 var (
-	packedAsmFast func(dst []int32, a []uint8, panel []int8, m, kq, lda, ldd int)
-	packedAsmWide func(dst []int32, a []uint8, panel []int8, m, kq, lda, ldd int)
+	packedAsmFast  func(dst []int32, a []uint8, panel []int8, m, kq, lda, ldd int)
+	packedAsmWide  func(dst []int32, a []uint8, panel []int8, m, kq, lda, ldd int)
+	packedAsmFast4 func(dst []int32, a []uint8, panel []int8, m, kq, lda, ldd int)
+	packedAsmWide4 func(dst []int32, a []uint8, panel []int8, m, kq, lda, ldd int)
 )
 
 // MatMulU8I8PackedInto computes dst = a·b where a is a uint8 (m, k)
@@ -165,41 +174,55 @@ func MatMulU8I8PackedInto(dst []int32, a []uint8, b *PackedI8, m, lda int) error
 	if len(dst) < m*b.n {
 		return fmt.Errorf("%w: matmulU8I8Packed destination has %d elements, want >= %d", ErrShape, len(dst), m*b.n)
 	}
-	// Kernel selection is per matrix: saturating weight panels take the
-	// exact widening kernel, everything else the fast VPMADDUBSW kernel.
-	asm := packedAsmFast
-	if b.sat {
-		asm = packedAsmWide
-	}
 	mb := blocks(m, gemmRowBlock)
 	if maxWorkers == 1 {
 		for t := 0; t < mb*b.panels; t++ {
-			gemmPackedBlock(dst, a, b, asm, m, lda, t)
+			gemmPackedBlock(dst, a, b, m, lda, t)
 		}
 		return nil
 	}
-	ParallelFor(mb*b.panels, func(t int) { gemmPackedBlock(dst, a, b, asm, m, lda, t) })
+	ParallelFor(mb*b.panels, func(t int) { gemmPackedBlock(dst, a, b, m, lda, t) })
 	return nil
 }
 
-// gemmPackedBlock computes one (row block × panel) output tile.
-func gemmPackedBlock(dst []int32, a []uint8, b *PackedI8,
-	asm func([]int32, []uint8, []int8, int, int, int, int), m, lda, t int) {
+// gemmPackedBlock computes one (row block × panel) output tile. Kernel
+// selection is per matrix — saturating weight panels take the exact
+// widening kernels, everything else the fast VPMADDUBSW kernels — and
+// per row count: groups of four rows run the register-blocked 4-row
+// micro-kernel (one panel-quad load per four rows), the remainder rows
+// the one-row kernel.
+func gemmPackedBlock(dst []int32, a []uint8, b *PackedI8, m, lda, t int) {
+	asm1, asm4 := packedAsmFast, packedAsmFast4
+	if b.sat {
+		asm1, asm4 = packedAsmWide, packedAsmWide4
+	}
 	ib, pi := t/b.panels, t%b.panels
 	i0 := ib * gemmRowBlock
 	mr := min(gemmRowBlock, m-i0)
 	j0 := pi * 8
 	nr := min(8, b.n-j0)
 	panel := b.data[pi*b.kq*32 : (pi+1)*b.kq*32]
-	if nr == 8 {
-		if asm != nil {
-			asm(dst[i0*b.n+j0:], a[i0*lda:], panel, mr, b.kq, lda, b.n)
-			return
-		}
-		packedPanelGo8(dst[i0*b.n+j0:], a[i0*lda:], panel, mr, b.kq, lda, b.n)
+	if nr < 8 {
+		packedPanelGo(dst[i0*b.n+j0:], a[i0*lda:], panel, mr, b.kq, lda, b.n, nr)
 		return
 	}
-	packedPanelGo(dst[i0*b.n+j0:], a[i0*lda:], panel, mr, b.kq, lda, b.n, nr)
+	m4 := mr &^ 3
+	if m4 > 0 {
+		if asm4 != nil {
+			asm4(dst[i0*b.n+j0:], a[i0*lda:], panel, m4, b.kq, lda, b.n)
+		} else {
+			packedPanelGo8x4(dst[i0*b.n+j0:], a[i0*lda:], panel, m4, b.kq, lda, b.n)
+		}
+	}
+	if m4 == mr {
+		return
+	}
+	i0 += m4
+	if asm1 != nil {
+		asm1(dst[i0*b.n+j0:], a[i0*lda:], panel, mr-m4, b.kq, lda, b.n)
+		return
+	}
+	packedPanelGo8(dst[i0*b.n+j0:], a[i0*lda:], panel, mr-m4, b.kq, lda, b.n)
 }
 
 // packedPanelGo8 is the portable kernel for full 8-column panels: the 8
@@ -228,6 +251,43 @@ func packedPanelGo8(dst []int32, a []uint8, panel []int8, m, kq, lda, ldd int) {
 		orow := dst[i*ldd : i*ldd+8 : i*ldd+8]
 		orow[0], orow[1], orow[2], orow[3] = o0, o1, o2, o3
 		orow[4], orow[5], orow[6], orow[7] = o4, o5, o6, o7
+	}
+}
+
+// packedPanelGo8x4 is the portable register-blocked kernel for full
+// panels (m a positive multiple of 4): the packed quad's 32 weights are
+// loaded once per four rows and multiplied against each row's
+// activation quad, mirroring the data reuse of the 4-row assembly
+// kernels. Exact int32 accumulation, bit-identical to every other
+// packed kernel (integer addition is associative).
+func packedPanelGo8x4(dst []int32, a []uint8, panel []int8, m, kq, lda, ldd int) {
+	for i := 0; i+3 < m; i += 4 {
+		r0 := a[i*lda:]
+		r1 := a[(i+1)*lda:]
+		r2 := a[(i+2)*lda:]
+		r3 := a[(i+3)*lda:]
+		var o0, o1, o2, o3 [8]int32
+		for q := 0; q < kq; q++ {
+			a00, a01, a02, a03 := int32(r0[4*q]), int32(r0[4*q+1]), int32(r0[4*q+2]), int32(r0[4*q+3])
+			a10, a11, a12, a13 := int32(r1[4*q]), int32(r1[4*q+1]), int32(r1[4*q+2]), int32(r1[4*q+3])
+			a20, a21, a22, a23 := int32(r2[4*q]), int32(r2[4*q+1]), int32(r2[4*q+2]), int32(r2[4*q+3])
+			a30, a31, a32, a33 := int32(r3[4*q]), int32(r3[4*q+1]), int32(r3[4*q+2]), int32(r3[4*q+3])
+			pq := panel[q*32 : q*32+32 : q*32+32]
+			for j := 0; j < 8; j++ {
+				w0 := int32(pq[4*j])
+				w1 := int32(pq[4*j+1])
+				w2 := int32(pq[4*j+2])
+				w3 := int32(pq[4*j+3])
+				o0[j] += a00*w0 + a01*w1 + a02*w2 + a03*w3
+				o1[j] += a10*w0 + a11*w1 + a12*w2 + a13*w3
+				o2[j] += a20*w0 + a21*w1 + a22*w2 + a23*w3
+				o3[j] += a30*w0 + a31*w1 + a32*w2 + a33*w3
+			}
+		}
+		copy(dst[i*ldd:i*ldd+8], o0[:])
+		copy(dst[(i+1)*ldd:(i+1)*ldd+8], o1[:])
+		copy(dst[(i+2)*ldd:(i+2)*ldd+8], o2[:])
+		copy(dst[(i+3)*ldd:(i+3)*ldd+8], o3[:])
 	}
 }
 

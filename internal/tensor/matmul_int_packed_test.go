@@ -357,6 +357,16 @@ func TestIm2ColBatchU8PatchesMatchesColumnMajor(t *testing.T) {
 		{InC: 3, InH: 8, InW: 8, KH: 3, KW: 3, Stride: 2, Pad: 1},
 		{InC: 1, InH: 5, InW: 7, KH: 5, KW: 5, Stride: 1, Pad: 2},
 		{InC: 2, InH: 4, InW: 4, KH: 1, KW: 1, Stride: 2, Pad: 0},
+		// Kernel wider than InW+Pad: the interior column range is empty
+		// and every position is an edge (regression: the hoisted-range
+		// packer once sliced at a negative offset here).
+		{InC: 1, InH: 2, InW: 2, KH: 7, KW: 7, Stride: 1, Pad: 3},
+		{InC: 2, InH: 3, InW: 3, KH: 4, KW: 4, Stride: 2, Pad: 1},
+		// Negative interior numerator with Pad 0 / small Pad: Go's
+		// toward-zero division would round (InW−KW+Pad)/Stride up to 0
+		// and let the fast path read past the source row (regression).
+		{InC: 1, InH: 2, InW: 2, KH: 1, KW: 3, Stride: 2, Pad: 0},
+		{InC: 1, InH: 4, InW: 3, KH: 2, KW: 6, Stride: 1, Pad: 2},
 	}
 	rng := NewRNG(54)
 	const n = 3

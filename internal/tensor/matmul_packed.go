@@ -1,0 +1,299 @@
+package tensor
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Packed-operand float GEMM: the register-blocked shape behind the
+// training spine's large products. The B matrix of dst = A·B is
+// reorganized into column panels of f32PanelCols consecutive columns —
+// k rows of 16 floats each, zero-padded at the right edge — so the inner
+// kernel streams one contiguous panel row per k tap instead of striding
+// B. The micro-kernel is 4×16: four output rows' accumulators (eight YMM
+// registers on amd64) stay in registers across the whole k loop, each
+// loaded B panel row is multiplied against all four rows, and dst is
+// touched exactly once per tile. That is the BLIS/gemmlowp shape; the
+// AXPY kernels it replaces reload and restore the dst row every four k
+// taps and stream B once per output row.
+//
+// Packing is cheap relative to the multiply when there are enough output
+// rows to amortize it: the pack streams k·n floats once while the GEMM
+// performs m·k·n FMAs, so the pack overhead is ~1/m of the arithmetic.
+// MatMul/MatMulTransA/MatMulTransB route through a pooled per-call pack
+// when m ≥ f32PackMinM (see PackWorthF32); layers with a steady-state
+// shape (conv/linear in internal/nn) hold their own PackedF32 arena and
+// call MatMulF32PackedInto directly, so the hot training path packs into
+// reused storage and allocates nothing.
+//
+// Unlike the integer kernels, SIMD and portable float kernels are not
+// bitwise identical: the assembly accumulates with fused multiply-adds
+// (one rounding per tap) while portable Go rounds the multiply and the
+// add separately. Both accumulate in the same k-ascending order with one
+// accumulator per output element, so they agree to float32 rounding —
+// the same contract the AXPY/dot kernels already have.
+
+// f32PanelCols is the packed panel width: 16 columns = two YMM registers
+// of float32 accumulators per output row.
+const f32PanelCols = 16
+
+// f32PackedRowBlock bounds the rows of one packed-GEMM task. Taller than
+// the AXPY path's gemmRowBlock on purpose: a task streams its B panel
+// from cache once for every row block, so 32 rows (eight 4-row groups)
+// cut that re-streaming 4× while ceil(m/32)·panels still leaves plenty
+// of tasks for the worker pool (panels dominate on every large shape).
+const f32PackedRowBlock = 32
+
+// PackedF32 is a float32 matrix repacked into column panels for
+// MatMulF32PackedInto. Unlike PackedI8 (packed once at model-compile
+// time), a PackedF32 is a reusable buffer: PackB/PackBT overwrite it in
+// place, growing storage only when the shape outgrows it, so per-call
+// packing is allocation-free at steady state. A packed matrix must not
+// be repacked while a GEMM is reading it.
+type PackedF32 struct {
+	k, n   int
+	panels int // column panels: ceil(n/16)
+	data   []float32
+}
+
+// Rows returns the packed matrix's k (inner) dimension.
+func (p *PackedF32) Rows() int { return p.k }
+
+// Cols returns the packed matrix's n (output) dimension.
+func (p *PackedF32) Cols() int { return p.n }
+
+// SizeBytes returns the packed storage footprint.
+func (p *PackedF32) SizeBytes() int { return 4 * len(p.data) }
+
+// PackF32PanelsB packs a row-major (k, n) matrix into fresh column
+// panels.
+func PackF32PanelsB(b []float32, k, n int) (*PackedF32, error) {
+	p := &PackedF32{}
+	if err := p.PackB(b, k, n); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// PackF32PanelsBT packs the transpose of a row-major (n, k) matrix — the
+// natural orientation of weight tensors — into fresh column panels:
+// PackF32PanelsBT(w, k, n) packs B = wᵀ.
+func PackF32PanelsBT(bt []float32, k, n int) (*PackedF32, error) {
+	p := &PackedF32{}
+	if err := p.PackBT(bt, k, n); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// PackB repacks a row-major (k, n) matrix into p, reusing p's storage.
+func (p *PackedF32) PackB(b []float32, k, n int) error {
+	if err := checkPackF32("packB", len(b), k, n); err != nil {
+		return err
+	}
+	p.reset(k, n)
+	if maxWorkers == 1 {
+		for pi := 0; pi < p.panels; pi++ {
+			p.packPanelB(b, pi)
+		}
+		return nil
+	}
+	ParallelFor(p.panels, func(pi int) { p.packPanelB(b, pi) })
+	return nil
+}
+
+// PackBT repacks the transpose of a row-major (n, k) matrix into p,
+// reusing p's storage: B = btᵀ.
+func (p *PackedF32) PackBT(bt []float32, k, n int) error {
+	if err := checkPackF32("packBT", len(bt), k, n); err != nil {
+		return err
+	}
+	p.reset(k, n)
+	if maxWorkers == 1 {
+		for pi := 0; pi < p.panels; pi++ {
+			p.packPanelBT(bt, pi)
+		}
+		return nil
+	}
+	ParallelFor(p.panels, func(pi int) { p.packPanelBT(bt, pi) })
+	return nil
+}
+
+func checkPackF32(op string, lenB, k, n int) error {
+	if k <= 0 || n <= 0 {
+		return fmt.Errorf("%w: %s dims (%d,%d) must be positive", ErrShape, op, k, n)
+	}
+	if lenB < k*n {
+		return fmt.Errorf("%w: %s operand has %d elements, want >= %d", ErrShape, op, lenB, k*n)
+	}
+	return nil
+}
+
+func (p *PackedF32) reset(k, n int) {
+	p.k, p.n = k, n
+	p.panels = (n + f32PanelCols - 1) / f32PanelCols
+	need := p.panels * k * f32PanelCols
+	if cap(p.data) < need {
+		p.data = make([]float32, need)
+	}
+	p.data = p.data[:need]
+}
+
+// packPanelB fills panel pi from a row-major (k, n) source: contiguous
+// 16-float copies per k row, the rightmost panel zero-padded.
+func (p *PackedF32) packPanelB(b []float32, pi int) {
+	j0 := pi * f32PanelCols
+	nr := min(f32PanelCols, p.n-j0)
+	dst := p.data[pi*p.k*f32PanelCols : (pi+1)*p.k*f32PanelCols]
+	if nr == f32PanelCols {
+		for q := 0; q < p.k; q++ {
+			copy(dst[q*f32PanelCols:q*f32PanelCols+f32PanelCols], b[q*p.n+j0:q*p.n+j0+f32PanelCols])
+		}
+		return
+	}
+	for q := 0; q < p.k; q++ {
+		seg := dst[q*f32PanelCols : (q+1)*f32PanelCols]
+		copy(seg, b[q*p.n+j0:q*p.n+j0+nr])
+		for j := nr; j < f32PanelCols; j++ {
+			seg[j] = 0
+		}
+	}
+}
+
+// packPanelBT fills panel pi from the transposed (n, k) source: each
+// source row is one panel column, read contiguously and scattered at
+// stride 16.
+func (p *PackedF32) packPanelBT(bt []float32, pi int) {
+	j0 := pi * f32PanelCols
+	nr := min(f32PanelCols, p.n-j0)
+	dst := p.data[pi*p.k*f32PanelCols : (pi+1)*p.k*f32PanelCols]
+	if nr < f32PanelCols {
+		for i := range dst {
+			dst[i] = 0
+		}
+	}
+	for jj := 0; jj < nr; jj++ {
+		src := bt[(j0+jj)*p.k : (j0+jj+1)*p.k]
+		for q, v := range src {
+			dst[q*f32PanelCols+jj] = v
+		}
+	}
+}
+
+// Micro-kernel dispatch (see kernels.go for the portable definitions and
+// kernels_amd64.go for the FMA assembly repointing). Both kernels
+// compute full 16-column panels; a addresses row r, tap q at
+// a[r*ars + q*aks], which lets one kernel serve the normal (ars=lda,
+// aks=1) and transposed-A (ars=1, aks=lda) orientations.
+var (
+	f32Panel4 = f32Panel4Go // 4 rows (dst rows at ldd stride)
+	f32Panel1 = f32Panel1Go // 1 row (writes dst[0:16])
+)
+
+// MatMulF32PackedInto computes dst = a·b where a is a float32 (m, k)
+// matrix with row stride lda ≥ k and b is a packed (k, n) matrix. dst is
+// row-major (m, n), fully overwritten; it must not alias a or b's
+// storage. Results are identical for any worker count.
+func MatMulF32PackedInto(dst, a []float32, b *PackedF32, m, lda int) error {
+	if m <= 0 {
+		return fmt.Errorf("%w: matmulF32Packed m %d must be positive", ErrShape, m)
+	}
+	if lda < b.k {
+		return fmt.Errorf("%w: matmulF32Packed row stride %d < k %d", ErrShape, lda, b.k)
+	}
+	if need := (m-1)*lda + b.k; len(a) < need {
+		return fmt.Errorf("%w: matmulF32Packed operand a has %d elements, want >= %d", ErrShape, len(a), need)
+	}
+	if len(dst) < m*b.n {
+		return fmt.Errorf("%w: matmulF32Packed destination has %d elements, want >= %d", ErrShape, len(dst), m*b.n)
+	}
+	matMulF32PackedDriver(dst, a, b, m, lda, 1)
+	return nil
+}
+
+// MatMulF32PackedTransAInto computes dst = aᵀ·b where a is a float32
+// (k, m) matrix with row stride lda ≥ m and b is a packed (k, n)
+// matrix — the weight-gradient orientation, consumed without
+// materializing the transpose. dst is row-major (m, n), fully
+// overwritten.
+func MatMulF32PackedTransAInto(dst, a []float32, b *PackedF32, m, lda int) error {
+	if m <= 0 {
+		return fmt.Errorf("%w: matmulF32PackedTA m %d must be positive", ErrShape, m)
+	}
+	if lda < m {
+		return fmt.Errorf("%w: matmulF32PackedTA row stride %d < m %d", ErrShape, lda, m)
+	}
+	if need := (b.k-1)*lda + m; len(a) < need {
+		return fmt.Errorf("%w: matmulF32PackedTA operand a has %d elements, want >= %d", ErrShape, len(a), need)
+	}
+	if len(dst) < m*b.n {
+		return fmt.Errorf("%w: matmulF32PackedTA destination has %d elements, want >= %d", ErrShape, len(dst), m*b.n)
+	}
+	matMulF32PackedDriver(dst, a, b, m, 1, lda)
+	return nil
+}
+
+// matMulF32PackedDriver tiles the packed GEMM over (row block × panel)
+// tasks on the worker pool; dst row stride is b.n. Each output element
+// is written by exactly one task with a fixed k order, so results are
+// bit-identical across worker counts.
+func matMulF32PackedDriver(dst, a []float32, b *PackedF32, m, ars, aks int) {
+	mb := blocks(m, f32PackedRowBlock)
+	if maxWorkers == 1 {
+		for t := 0; t < mb*b.panels; t++ {
+			f32PackedTile(dst, a, b, m, ars, aks, t)
+		}
+		return
+	}
+	ParallelFor(mb*b.panels, func(t int) { f32PackedTile(dst, a, b, m, ars, aks, t) })
+}
+
+// f32PackedTile computes one (row block × panel) output tile: groups of
+// four rows through the register-blocked 4×16 kernel, remainder rows
+// through the one-row kernel, partial right-edge panels through the
+// portable edge kernel.
+func f32PackedTile(dst, a []float32, b *PackedF32, m, ars, aks, t int) {
+	ib, pi := t/b.panels, t%b.panels
+	i0 := ib * f32PackedRowBlock
+	mr := min(f32PackedRowBlock, m-i0)
+	j0 := pi * f32PanelCols
+	nr := min(f32PanelCols, b.n-j0)
+	panel := b.data[pi*b.k*f32PanelCols : (pi+1)*b.k*f32PanelCols]
+	if nr < f32PanelCols {
+		f32PanelEdgeGo(dst[i0*b.n+j0:], a[i0*ars:], panel, mr, b.k, ars, aks, b.n, nr)
+		return
+	}
+	m4 := mr &^ 3
+	if m4 > 0 {
+		f32Panel4(dst[i0*b.n+j0:], a[i0*ars:], panel, m4, b.k, ars, aks, b.n)
+	}
+	for i := m4; i < mr; i++ {
+		f32Panel1(dst[(i0+i)*b.n+j0:], a[(i0+i)*ars:], panel, b.k, aks)
+	}
+}
+
+// f32PackPool recycles packed-B buffers for the routed MatMul entry
+// points (matmul.go), so per-call packing costs no steady-state
+// allocations there either.
+var f32PackPool = sync.Pool{New: func() any { return new(PackedF32) }}
+
+// f32PackMinM is the row threshold above which per-call B-packing pays
+// for itself: the pack streams k·n floats once (~2 memory ops per
+// element) while the packed kernel saves roughly one dst load+store and
+// three quarters of the B loads per output element — with m rows
+// sharing one pack, the crossover sits well below 8 rows on every shape
+// benchmarked, and below it the AXPY/dot kernels are already close to
+// load-port bound.
+const f32PackMinM = 8
+
+// PackWorthF32 reports whether the routed GEMMs should take the packed
+// path for an (m, k, n) product. Narrow-n products keep the direct
+// kernels for two reasons: the right-edge partial panel runs a scalar
+// kernel, so its cost fraction grows as n shrinks (at n < 4·panelCols
+// it can dominate), and the dot/AXPY paths are strongest exactly there
+// (the conv dW product, n = kdim, is a row of long contiguous inner
+// products). Tiny-k products skip packing because the per-panel pack
+// setup is not amortized.
+func PackWorthF32(m, k, n int) bool {
+	return m >= f32PackMinM && n >= 4*f32PanelCols && k >= 4
+}

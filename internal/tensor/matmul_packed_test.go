@@ -1,0 +1,385 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+// randF32 fills a slice with values in [-1, 1).
+func randF32(rng *RNG, n int) []float32 {
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = 2*rng.Float32() - 1
+	}
+	return out
+}
+
+// naiveF32Ref computes dst = a·b for (m, k with row stride lda)·(k, n) in
+// the kernels' accumulation order (one float32 accumulator per element,
+// k ascending), the reference for the packed float GEMM.
+func naiveF32Ref(a []float32, lda int, b []float32, m, k, n int) []float32 {
+	out := make([]float32, m*n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float32
+			for p := 0; p < k; p++ {
+				s += a[i*lda+p] * b[p*n+j]
+			}
+			out[i*n+j] = s
+		}
+	}
+	return out
+}
+
+// f32Close fails unless got ≈ want to float32 rounding noise: the FMA
+// kernels fuse each multiply-add into one rounding, portable Go and the
+// naive reference round twice per tap, so results differ in the last
+// few ulps but share the accumulation order.
+func f32Close(t *testing.T, label string, got, want []float32, k int) {
+	t.Helper()
+	// Error grows with the accumulation length; 4 ulps per tap is a loose
+	// cover for the single- vs double-rounding difference.
+	for i := range want {
+		diff := math.Abs(float64(got[i]) - float64(want[i]))
+		scale := math.Max(math.Abs(float64(want[i])), 1)
+		if diff > 1e-6*scale*float64(k+1) {
+			t.Fatalf("%s: got[%d] = %g, want %g (diff %g)", label, i, got[i], want[i], diff)
+		}
+	}
+}
+
+func TestPackF32PanelsLayoutAndErrors(t *testing.T) {
+	// (k=3, n=18): one full panel plus a 2-column edge panel.
+	k, n := 3, 18
+	b := make([]float32, k*n)
+	for i := range b {
+		b[i] = float32(i)
+	}
+	pb, err := PackF32PanelsB(b, k, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pb.Rows() != k || pb.Cols() != n || pb.panels != 2 {
+		t.Fatalf("pack geometry: rows %d cols %d panels %d", pb.Rows(), pb.Cols(), pb.panels)
+	}
+	if pb.SizeBytes() != 4*2*k*16 {
+		t.Fatalf("SizeBytes = %d, want %d", pb.SizeBytes(), 4*2*k*16)
+	}
+	// Panel 0, k-row q holds b[q][0..15] contiguously.
+	for q := 0; q < k; q++ {
+		for j := 0; j < 16; j++ {
+			if pb.data[q*16+j] != b[q*n+j] {
+				t.Fatalf("panel0[%d][%d] = %g, want %g", q, j, pb.data[q*16+j], b[q*n+j])
+			}
+		}
+	}
+	// Edge panel: two valid columns then zero padding.
+	edge := pb.data[k*16:]
+	for q := 0; q < k; q++ {
+		if edge[q*16] != b[q*n+16] || edge[q*16+1] != b[q*n+17] {
+			t.Fatalf("edge panel row %d = [%g %g], want [%g %g]",
+				q, edge[q*16], edge[q*16+1], b[q*n+16], b[q*n+17])
+		}
+		for j := 2; j < 16; j++ {
+			if edge[q*16+j] != 0 {
+				t.Fatalf("edge padding [%d][%d] = %g, want 0", q, j, edge[q*16+j])
+			}
+		}
+	}
+
+	// The transposed form packs identically.
+	bt := make([]float32, n*k)
+	for j := 0; j < n; j++ {
+		for p := 0; p < k; p++ {
+			bt[j*k+p] = b[p*n+j]
+		}
+	}
+	pb2, err := PackF32PanelsBT(bt, k, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pb.data {
+		if pb.data[i] != pb2.data[i] {
+			t.Fatalf("PackF32PanelsB and PackF32PanelsBT disagree at %d", i)
+		}
+	}
+
+	if _, err := PackF32PanelsB(b[:4], k, n); err == nil {
+		t.Error("short operand did not error")
+	}
+	if _, err := PackF32PanelsB(b, 0, n); err == nil {
+		t.Error("zero k did not error")
+	}
+}
+
+// TestMatMulF32PackedMatchesNaive drives deliberate edge shapes through
+// both kernel dispatches: quad/panel/row-block boundaries, lda > k
+// strided operands, and M remainders that exercise the 4-row/1-row
+// split.
+func TestMatMulF32PackedMatchesNaive(t *testing.T) {
+	eachDispatch(t, func(t *testing.T) {
+		rng := NewRNG(61)
+		shapes := []struct{ m, k, n, lda int }{
+			{1, 1, 1, 1}, {4, 8, 16, 8}, {5, 7, 17, 9}, {8, 27, 48, 27},
+			{16, 27, 128, 27}, {33, 40, 50, 41}, {64, 144, 32, 144}, {3, 5, 90, 6},
+		}
+		for _, s := range shapes {
+			a := randF32(rng, s.m*s.lda)
+			b := randF32(rng, s.k*s.n)
+			pb, err := PackF32PanelsB(b, s.k, s.n)
+			if err != nil {
+				t.Fatalf("%+v: %v", s, err)
+			}
+			want := naiveF32Ref(a, s.lda, b, s.m, s.k, s.n)
+			got := make([]float32, s.m*s.n)
+			if err := MatMulF32PackedInto(got, a, pb, s.m, s.lda); err != nil {
+				t.Fatalf("%+v: %v", s, err)
+			}
+			f32Close(t, "packed", got, want, s.k)
+		}
+	})
+}
+
+// TestMatMulF32PackedTransAMatchesNaive checks the strided-A orientation
+// (the weight-gradient shape) under both dispatches.
+func TestMatMulF32PackedTransAMatchesNaive(t *testing.T) {
+	eachDispatch(t, func(t *testing.T) {
+		rng := NewRNG(62)
+		shapes := []struct{ m, k, n, lda int }{
+			{4, 8, 16, 4}, {27, 16, 64, 27}, {9, 5, 33, 12}, {32, 3, 100, 32},
+		}
+		for _, s := range shapes {
+			at := randF32(rng, s.k*s.lda) // (k, m) with row stride lda ≥ m
+			b := randF32(rng, s.k*s.n)
+			pb, err := PackF32PanelsB(b, s.k, s.n)
+			if err != nil {
+				t.Fatalf("%+v: %v", s, err)
+			}
+			// Reference via the explicit transpose.
+			a := make([]float32, s.m*s.k)
+			for i := 0; i < s.m; i++ {
+				for p := 0; p < s.k; p++ {
+					a[i*s.k+p] = at[p*s.lda+i]
+				}
+			}
+			want := naiveF32Ref(a, s.k, b, s.m, s.k, s.n)
+			got := make([]float32, s.m*s.n)
+			if err := MatMulF32PackedTransAInto(got, at, pb, s.m, s.lda); err != nil {
+				t.Fatalf("%+v: %v", s, err)
+			}
+			f32Close(t, "packedTA", got, want, s.k)
+		}
+	})
+}
+
+// TestMatMulF32PackedFuzzAgainstNaive mirrors the integer fuzz harness:
+// random shapes and operands through every dispatch, compared against
+// the naive triple loop.
+func TestMatMulF32PackedFuzzAgainstNaive(t *testing.T) {
+	eachDispatch(t, func(t *testing.T) {
+		rng := NewRNG(63)
+		for trial := 0; trial < 60; trial++ {
+			m := 1 + rng.Intn(40)
+			k := 1 + rng.Intn(70)
+			n := 1 + rng.Intn(80)
+			lda := k + rng.Intn(5)
+			a := randF32(rng, m*lda)
+			b := randF32(rng, k*n)
+			pb, err := PackF32PanelsB(b, k, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := naiveF32Ref(a, lda, b, m, k, n)
+			got := make([]float32, m*n)
+			if err := MatMulF32PackedInto(got, a, pb, m, lda); err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				diff := math.Abs(float64(got[i]) - float64(want[i]))
+				scale := math.Max(math.Abs(float64(want[i])), 1)
+				if diff > 1e-6*scale*float64(k+1) {
+					t.Fatalf("trial %d (m=%d k=%d n=%d lda=%d): got[%d] = %g, want %g",
+						trial, m, k, n, lda, i, got[i], want[i])
+				}
+			}
+		}
+	})
+}
+
+// TestRoutedMatMulMatchesAXPY pins the per-call pack routing: above the
+// threshold MatMul/MatMulTransA/MatMulTransB answers must agree with the
+// direct kernels they replaced (to rounding), under both dispatches.
+func TestRoutedMatMulMatchesAXPY(t *testing.T) {
+	eachDispatch(t, func(t *testing.T) {
+		rng := NewRNG(64)
+		m, k, n := 24, 31, 130
+		if !PackWorthF32(m, k, n) {
+			t.Fatalf("test shape (%d,%d,%d) no longer routes", m, k, n)
+		}
+		ad := randF32(rng, m*k)
+		bd := randF32(rng, k*n)
+		od := make([]float32, m*n)
+		want := make([]float32, m*n)
+		matMulKernel(od, ad, bd, m, k, n)
+		matMulAXPYKernel(want, ad, bd, m, k, n)
+		f32Close(t, "matmul", od, want, k)
+
+		atd := randF32(rng, k*m) // (k, m)
+		matMulTransAKernel(od, atd, bd, m, k, n)
+		matMulTransAAXPYKernel(want, atd, bd, m, k, n)
+		f32Close(t, "matmulTA", od, want, k)
+
+		btd := randF32(rng, n*k) // (n, k)
+		pbWant := naiveF32Ref(ad, k, transposeF32(btd, n, k), m, k, n)
+		matMulTransBKernel(od, ad, btd, m, k, n)
+		f32Close(t, "matmulTB", od, pbWant, k)
+	})
+}
+
+func transposeF32(src []float32, rows, cols int) []float32 {
+	out := make([]float32, rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			out[c*rows+r] = src[r*cols+c]
+		}
+	}
+	return out
+}
+
+func TestMatMulF32PackedDeterministicAcrossWorkers(t *testing.T) {
+	rng := NewRNG(65)
+	m, k, n := 37, 60, 70
+	a := randF32(rng, m*k)
+	b := randF32(rng, k*n)
+	pb, err := PackF32PanelsB(b, k, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := SetMaxWorkers(1)
+	defer SetMaxWorkers(prev)
+	serial := make([]float32, m*n)
+	if err := MatMulF32PackedInto(serial, a, pb, m, k); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 4, 8} {
+		SetMaxWorkers(w)
+		// Repack under the parallel pack path too: panels must come out
+		// identical for any worker count.
+		pb2, err := PackF32PanelsB(b, k, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range pb.data {
+			if pb.data[i] != pb2.data[i] {
+				t.Fatalf("workers=%d: pack differs at %d", w, i)
+			}
+		}
+		got := make([]float32, m*n)
+		if err := MatMulF32PackedInto(got, a, pb2, m, k); err != nil {
+			t.Fatal(err)
+		}
+		for i := range serial {
+			if got[i] != serial[i] {
+				t.Fatalf("workers=%d: got[%d] = %g, want %g (bitwise)", w, i, got[i], serial[i])
+			}
+		}
+	}
+}
+
+func TestMatMulF32PackedErrors(t *testing.T) {
+	b := make([]float32, 5*20)
+	pb, err := PackF32PanelsB(b, 5, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := make([]float32, 3*5)
+	dst := make([]float32, 3*20)
+	if err := MatMulF32PackedInto(dst, a[:10], pb, 3, 5); err == nil {
+		t.Error("short operand did not error")
+	}
+	if err := MatMulF32PackedInto(dst, a, pb, 3, 4); err == nil {
+		t.Error("lda < k did not error")
+	}
+	if err := MatMulF32PackedInto(dst[:5], a, pb, 3, 5); err == nil {
+		t.Error("short destination did not error")
+	}
+	if err := MatMulF32PackedInto(dst, a, pb, 0, 5); err == nil {
+		t.Error("zero m did not error")
+	}
+	at := make([]float32, 5*3)
+	if err := MatMulF32PackedTransAInto(dst, at, pb, 3, 2); err == nil {
+		t.Error("TransA lda < m did not error")
+	}
+	if err := MatMulF32PackedTransAInto(dst, at[:8], pb, 3, 3); err == nil {
+		t.Error("TransA short operand did not error")
+	}
+}
+
+// TestMatMulU8I8PackedRemainderRows hammers the 4-row/1-row split of the
+// integer packed GEMM at every M remainder (1..5 plus the row-block
+// boundary), for both the fast and the widening route, under both
+// dispatches — the shapes where a wrong group split silently corrupts
+// the tail rows.
+func TestMatMulU8I8PackedRemainderRows(t *testing.T) {
+	eachDispatch(t, func(t *testing.T) {
+		rng := NewRNG(66)
+		for _, m := range []int{1, 2, 3, 4, 5, 7, 8, 9, 12, 13} {
+			for _, sat := range []bool{false, true} {
+				k, n := 21, 16
+				lda := k + 2
+				a := padForQuads(randU8(rng, m*lda))
+				bt := randI8(rng, n*k)
+				if !sat {
+					for i := range bt {
+						bt[i] = int8(rng.Intn(129) - 64)
+					}
+				} else {
+					// Force a hazardous pair so the widening kernels run.
+					bt[0], bt[1] = 127, 127
+				}
+				pb, err := PackI8PanelsBT(bt, k, n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if pb.Saturating() != sat {
+					t.Fatalf("m=%d: Saturating() = %v, want %v", m, pb.Saturating(), sat)
+				}
+				want := naivePackedRef(a, lda, bt, m, k, n)
+				got := make([]int32, m*n)
+				if err := MatMulU8I8PackedInto(got, a, pb, m, lda); err != nil {
+					t.Fatal(err)
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("m=%d sat=%v: got[%d] = %d, want %d", m, sat, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	})
+}
+
+// TestF32PackedSerialPathAllocs pins the zero-allocation contract of the
+// serial packed float path (pack + GEMM into reused buffers) — the nn
+// layers' steady-state training steps count on it.
+func TestF32PackedSerialPathAllocs(t *testing.T) {
+	prev := SetMaxWorkers(1)
+	defer SetMaxWorkers(prev)
+	rng := NewRNG(67)
+	m, k, n := 32, 27, 160
+	a := randF32(rng, m*k)
+	b := randF32(rng, k*n)
+	pb := &PackedF32{}
+	dst := make([]float32, m*n)
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := pb.PackB(b, k, n); err != nil {
+			t.Fatal(err)
+		}
+		if err := MatMulF32PackedInto(dst, a, pb, m, k); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("serial packed float path allocates %v objects/op, want 0", allocs)
+	}
+}
