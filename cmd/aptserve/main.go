@@ -13,12 +13,22 @@
 //
 // Endpoints:
 //
-//	POST /classify  {"input": [c·h·w floats]} or {"inputs": [[...], ...]}
-//	GET  /healthz   liveness probe
-//	GET  /stats     request/batch counters, p50/p99 latency, throughput
+//	POST /classify      {"input": [c·h·w floats]} or {"inputs": [[...], ...]};
+//	                    optional "deadline_ms" bounds queue wait + inference
+//	GET  /healthz       liveness probe (starting/ok/degraded/draining)
+//	GET  /readyz        readiness probe: 200 only when traffic should route here
+//	GET  /stats         request/batch counters, p50/p99 latency, throughput
+//	POST /admin/reload  hot-swap the model without dropping in-flight work
 //
-// -smoke starts the server on an ephemeral port, performs one /classify
-// round trip against a held-out sample, and shuts down cleanly — the CI
+// Hot reload: POST /admin/reload (or send the process SIGHUP) re-reads
+// the -model checkpoint — or recompiles the startup-trained model — and
+// atomically swaps the new engine in; in-flight batches finish on the old
+// one. Overwrite the checkpoint file with freshly trained weights, then
+// reload, for a zero-downtime model update. -deadline imposes a default
+// per-request deadline on requests that don't carry their own.
+//
+// -smoke starts the server on an ephemeral port, performs health,
+// classify, and hot-reload round trips, and shuts down cleanly — the CI
 // end-to-end probe.
 package main
 
@@ -67,7 +77,8 @@ func run(args []string, out io.Writer) error {
 	maxBatch := fs.Int("max-batch", 32, "max samples fused into one engine call")
 	maxDelay := fs.Duration("max-delay", 2*time.Millisecond, "max wait for a batch to fill")
 	queueCap := fs.Int("queue", 0, "request queue bound (0 = 4·max-batch·workers)")
-	smoke := fs.Bool("smoke", false, "serve on an ephemeral port, run one classify round trip, exit")
+	deadline := fs.Duration("deadline", 0, "default per-request deadline for /classify (0 = none; requests may set deadline_ms)")
+	smoke := fs.Bool("smoke", false, "serve on an ephemeral port, run classify and hot-reload round trips, exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -77,13 +88,24 @@ func run(args []string, out io.Writer) error {
 		epochs: *epochs, seed: *seed,
 		modelPath: *modelPath, arch: *arch, width: *width,
 		workers: *workers, maxBatch: *maxBatch, maxDelay: *maxDelay, queueCap: *queueCap,
+		deadline: *deadline,
 	}, out)
 	if err != nil {
 		return err
 	}
 	defer srv.Close()
 
-	hs := &http.Server{Handler: srv.Handler()}
+	// A slow or stalled client must not hold a connection (and its
+	// handler goroutine) open indefinitely: bound every phase of the
+	// exchange. The write timeout leaves room for a full queue wait plus
+	// a large batched inference.
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
 	if *smoke {
 		return smokeRun(hs, srv, testSet, *size, out)
 	}
@@ -94,6 +116,20 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "serving on %s (workers=%d max-batch=%d max-delay=%s)\n",
 		ln.Addr(), *workers, *maxBatch, *maxDelay)
+
+	// SIGHUP hot-swaps the model: the same path as POST /admin/reload.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	go func() {
+		for range hup {
+			if v, err := srv.Reload(); err != nil {
+				fmt.Fprintf(out, "reload failed: %v\n", err)
+			} else {
+				fmt.Fprintf(out, "reloaded model (version %d)\n", v)
+			}
+		}
+	}()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -130,6 +166,7 @@ type serverConfig struct {
 	maxBatch      int
 	maxDelay      time.Duration
 	queueCap      int
+	deadline      time.Duration
 }
 
 // buildServer obtains a model — training one at startup, or loading the
@@ -143,17 +180,16 @@ func buildServer(cfg serverConfig, out io.Writer) (*serve.Server, data.Dataset, 
 	if err != nil {
 		return nil, nil, err
 	}
+	mcfg := models.Config{Classes: cfg.classes, InputSize: cfg.size, Seed: cfg.seed + 1}
 	var model *models.Model
 	if cfg.modelPath != "" {
-		model, err = loadCheckpoint(cfg.modelPath, cfg.arch, cfg.width, models.Config{
-			Classes: cfg.classes, InputSize: cfg.size, Seed: cfg.seed + 1,
-		})
+		model, err = models.LoadAutoFile(cfg.modelPath, cfg.arch, cfg.width, mcfg)
 		if err != nil {
 			return nil, nil, err
 		}
 		fmt.Fprintf(out, "loaded %s (width %g) checkpoint %s\n", model.Name, model.Width, cfg.modelPath)
 	} else {
-		model, err = models.SmallCNN(models.Config{Classes: cfg.classes, InputSize: cfg.size, Seed: cfg.seed + 1})
+		model, err = models.SmallCNN(mcfg)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -175,14 +211,34 @@ func buildServer(cfg serverConfig, out io.Writer) (*serve.Server, data.Dataset, 
 	if err != nil {
 		return nil, nil, err
 	}
-	engine, err := infer.Compile(model, infer.Config{Calibration: calib})
+	compile := func(m *models.Model) (serve.Classifier, error) {
+		return infer.Compile(m, infer.Config{Calibration: calib})
+	}
+	engine, err := compile(model)
 	if err != nil {
 		return nil, nil, err
 	}
-	fmt.Fprintf(out, "int8 engine %.1f KiB\n", float64(engine.SizeBytes())/1024)
+	fmt.Fprintf(out, "int8 engine %.1f KiB\n", float64(engine.(*infer.Engine).SizeBytes())/1024)
+	// The reload function backs SIGHUP and POST /admin/reload: with
+	// -model it re-reads the checkpoint path (pick up newly trained
+	// weights written under the same name); otherwise it recompiles the
+	// startup-trained model, which still proves out the swap path.
+	reload := func() (serve.Classifier, error) { return compile(model) }
+	if cfg.modelPath != "" {
+		reload = func() (serve.Classifier, error) {
+			m, err := models.LoadAutoFile(cfg.modelPath, cfg.arch, cfg.width, mcfg)
+			if err != nil {
+				return nil, err
+			}
+			return compile(m)
+		}
+	}
 	srv, err := serve.New(serve.Config{
 		Engine:  engine, // sample geometry defaults from engine.InputShape
 		Workers: cfg.workers, MaxBatch: cfg.maxBatch, MaxDelay: cfg.maxDelay, QueueCap: cfg.queueCap,
+		DefaultDeadline: cfg.deadline,
+		Reload:          reload,
+		Warmup:          true,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -190,24 +246,8 @@ func buildServer(cfg serverConfig, out io.Writer) (*serve.Server, data.Dataset, 
 	return srv, testSet, nil
 }
 
-// loadCheckpoint restores a bit-packed checkpoint (models.Save format)
-// into the architecture its header names; arch and width, when set,
-// override the header (legacy checkpoints predate the width field).
-func loadCheckpoint(path, arch string, width float64, cfg models.Config) (*models.Model, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	m, err := models.LoadAuto(f, arch, width, cfg)
-	if err != nil {
-		return nil, fmt.Errorf("load %s: %w", path, err)
-	}
-	return m, nil
-}
-
-// smokeRun binds an ephemeral port, performs health and classify round
-// trips over real HTTP, and shuts the server down.
+// smokeRun binds an ephemeral port, performs health, classify, and
+// hot-reload round trips over real HTTP, and shuts the server down.
 func smokeRun(hs *http.Server, srv *serve.Server, testSet data.Dataset, size int, out io.Writer) error {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -247,6 +287,58 @@ func smokeRun(hs *http.Server, srv *serve.Server, testSet data.Dataset, size int
 		return fmt.Errorf("classify: status %d, body %+v", resp.StatusCode, got)
 	}
 	fmt.Fprintf(out, "smoke: /classify -> class %d (label %d)\n", *got.Class, label)
+
+	// The first successful batch marks the server ready; /readyz must
+	// agree (poll briefly — warmup runs in the background).
+	readyDeadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err = http.Get(base + "/readyz")
+		if err != nil {
+			return fmt.Errorf("readyz: %w", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			break
+		}
+		if time.Now().After(readyDeadline) {
+			return fmt.Errorf("readyz: status %d after serving traffic", resp.StatusCode)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// One hot reload round trip: swap in a freshly loaded engine and
+	// verify the server still classifies on the new model version.
+	resp, err = http.Post(base+"/admin/reload", "application/json", nil)
+	if err != nil {
+		return fmt.Errorf("reload: %w", err)
+	}
+	var rel struct {
+		Version uint64 `json:"version"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&rel)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("reload decode: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK || rel.Version != 2 {
+		return fmt.Errorf("reload: status %d, version %d (want 200, 2)", resp.StatusCode, rel.Version)
+	}
+	resp, err = http.Post(base+"/classify", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("classify after reload: %w", err)
+	}
+	var got2 struct {
+		Class *int `json:"class"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&got2)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("classify after reload decode: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK || got2.Class == nil || *got2.Class != *got.Class {
+		return fmt.Errorf("classify after reload: status %d, body %+v (want class %d)", resp.StatusCode, got2, *got.Class)
+	}
+	fmt.Fprintf(out, "smoke: hot reload -> model version %d, same prediction\n", rel.Version)
 
 	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()

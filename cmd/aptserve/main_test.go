@@ -13,18 +13,23 @@ import (
 )
 
 // TestSmokeRoundTrip runs the whole serving pipeline end to end: train,
-// compile, bind an ephemeral port, one HTTP classify round trip, clean
-// shutdown — the same path CI drives via `aptserve -smoke`.
+// compile, bind an ephemeral port, HTTP classify + readiness + hot
+// reload round trips, clean shutdown — the same path CI drives via
+// `aptserve -smoke`.
 func TestSmokeRoundTrip(t *testing.T) {
 	var out strings.Builder
 	err := run([]string{
 		"-smoke", "-size", "12", "-train", "96", "-test", "32", "-epochs", "1",
-		"-workers", "1", "-max-batch", "4",
+		"-workers", "1", "-max-batch", "4", "-deadline", "30s",
 	}, &out)
 	if err != nil {
 		t.Fatalf("run -smoke: %v\noutput:\n%s", err, out.String())
 	}
-	for _, want := range []string{"/classify -> class", "clean shutdown"} {
+	for _, want := range []string{
+		"/classify -> class",
+		"hot reload -> model version 2",
+		"clean shutdown",
+	} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("output missing %q:\n%s", want, out.String())
 		}
@@ -72,7 +77,14 @@ func TestModelFlagServesCheckpoint(t *testing.T) {
 	if err != nil {
 		t.Fatalf("run -smoke -model: %v\noutput:\n%s", err, out.String())
 	}
-	for _, want := range []string{"loaded smallcnn (width 1) checkpoint", "/classify -> class", "clean shutdown"} {
+	// The smoke probe's hot reload re-reads the checkpoint file, so the
+	// -model path proves the full disk-to-swap loop.
+	for _, want := range []string{
+		"loaded smallcnn (width 1) checkpoint",
+		"/classify -> class",
+		"hot reload -> model version 2",
+		"clean shutdown",
+	} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("output missing %q:\n%s", want, out.String())
 		}

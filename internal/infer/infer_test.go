@@ -111,6 +111,49 @@ func TestCompileRequiresCalibration(t *testing.T) {
 	}
 }
 
+// TestNaNInputQuantizesDeterministically pins the serving-tier contract
+// that a hostile payload cannot make the engine nondeterministic:
+// uint8(NaN) is platform-defined in Go, so the input quantizer pins NaN
+// to the grid's zero point — a NaN sample must classify bit-identically
+// to the same sample with the NaN replaced by 0.0, and ±Inf must clamp
+// to the grid edges, on every architecture.
+func TestNaNInputQuantizesDeterministically(t *testing.T) {
+	g := gridFor(-2, 2)
+	if got, want := g.quantize(float32(math.NaN())), g.quantize(0); got != want {
+		t.Errorf("quantize(NaN) = %d, want zero point %d", got, want)
+	}
+	if got := g.quantize(float32(math.Inf(1))); got != 255 {
+		t.Errorf("quantize(+Inf) = %d, want 255", got)
+	}
+	if got := g.quantize(float32(math.Inf(-1))); got != 0 {
+		t.Errorf("quantize(-Inf) = %d, want 0", got)
+	}
+
+	m, te, calib := trainedSmallCNN(t)
+	eng, err := Compile(m, Config{Calibration: calib})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	x, _ := testBatch(t, te, 4)
+	poisoned := tensor.MustFromSlice(append([]float32(nil), x.Data()...), x.Shape()...)
+	clean := tensor.MustFromSlice(append([]float32(nil), x.Data()...), x.Shape()...)
+	poisoned.Data()[5] = float32(math.NaN())
+	clean.Data()[5] = 0
+	got, err := eng.Forward(poisoned)
+	if err != nil {
+		t.Fatalf("Forward(poisoned): %v", err)
+	}
+	want, err := eng.Forward(clean)
+	if err != nil {
+		t.Fatalf("Forward(clean): %v", err)
+	}
+	for i, v := range got.Data() {
+		if v != want.Data()[i] {
+			t.Fatalf("logit %d: NaN batch %v != zeroed batch %v", i, v, want.Data()[i])
+		}
+	}
+}
+
 func TestIntegerEngineMatchesFloatModel(t *testing.T) {
 	m, te, calib := trainedSmallCNN(t)
 	eng, err := Compile(m, Config{Calibration: calib})

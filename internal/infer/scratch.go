@@ -31,12 +31,19 @@ func gridFor(min, max float32) grid {
 	return grid{scale: scale, zero: zero}
 }
 
-// quantize maps a float value onto the grid.
+// quantize maps a float value onto the grid. NaN pins to the zero point
+// (the grid's representation of 0.0): uint8(NaN) is platform-defined in
+// Go, and a serving tier fed a hostile payload must stay deterministic
+// across amd64 and the portable arm64 kernels, not inherit whatever the
+// hardware's conversion does.
 func (g grid) quantize(v float32) uint8 {
 	x := math.Round(float64(v)/float64(g.scale)) + float64(g.zero)
-	if x < 0 {
+	switch {
+	case math.IsNaN(x):
+		x = float64(g.zero)
+	case x < 0:
 		x = 0
-	} else if x > 255 {
+	case x > 255:
 		x = 255
 	}
 	return uint8(x)

@@ -4,6 +4,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"os"
 
 	"repro/internal/nn"
 	"repro/internal/quant"
@@ -114,6 +115,23 @@ func LoadAuto(r io.Reader, arch string, width float64, cfg Config) (*Model, erro
 	}
 	if err := restore(&file, m); err != nil {
 		return nil, err
+	}
+	return m, nil
+}
+
+// LoadAutoFile is LoadAuto from a checkpoint file on disk — the shape
+// serving needs for boot and for hot reload (aptserve re-reads the path
+// on SIGHUP / POST /admin/reload, so a newly trained checkpoint swapped
+// in under the same name is picked up without a restart).
+func LoadAutoFile(path, arch string, width float64, cfg Config) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	m, err := LoadAuto(f, arch, width, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("models: load %s: %w", path, err)
 	}
 	return m, nil
 }

@@ -3,6 +3,8 @@ package models
 import (
 	"bytes"
 	"math"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -127,6 +129,33 @@ func TestCheckpointSizeReflectsQuantization(t *testing.T) {
 	}
 	if qbuf.Len() >= fbuf.Len()/2 {
 		t.Errorf("6-bit checkpoint %dB not meaningfully smaller than fp32 %dB", qbuf.Len(), fbuf.Len())
+	}
+}
+
+// TestLoadAutoFile round-trips a checkpoint through disk via the
+// file-path helper the serving reload path uses.
+func TestLoadAutoFile(t *testing.T) {
+	m := trainedModel(t)
+	path := filepath.Join(t.TempDir(), "ckpt.apt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(f, m); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadAutoFile(path, "", 0, Config{Classes: 4, InputSize: 12, Seed: 99})
+	if err != nil {
+		t.Fatalf("LoadAutoFile: %v", err)
+	}
+	if got.Name != m.Name || got.Width != m.Width {
+		t.Errorf("loaded %s (width %g), want %s (width %g)", got.Name, got.Width, m.Name, m.Width)
+	}
+	if _, err := LoadAutoFile(filepath.Join(t.TempDir(), "missing.apt"), "", 0, Config{}); err == nil {
+		t.Error("missing file did not error")
 	}
 }
 

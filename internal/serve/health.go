@@ -1,0 +1,74 @@
+package serve
+
+// Health states. The serving tier distinguishes liveness ("is the
+// process worth keeping") from readiness ("should a load balancer send
+// it traffic"); /healthz and /readyz map these states onto HTTP in
+// http.go.
+//
+//	starting  warmup has not completed; accepting but cold
+//	ok        full capacity, queue has headroom
+//	degraded  workers lost or queue saturated; still serving
+//	draining  Close has begun; rejects new work, finishes accepted work
+
+// HealthState is the coarse serving state.
+type HealthState string
+
+const (
+	HealthStarting HealthState = "starting"
+	HealthOK       HealthState = "ok"
+	HealthDegraded HealthState = "degraded"
+	HealthDraining HealthState = "draining"
+)
+
+// Health is a point-in-time view of the server's serving capacity.
+type Health struct {
+	State HealthState `json:"state"`
+	// Reason explains a non-ok state.
+	Reason string `json:"reason,omitempty"`
+	// Workers is the configured worker count; LiveWorkers is how many
+	// are currently alive (panic respawn keeps them equal except for
+	// the instants between a panic and its respawn, and during drain).
+	Workers     int `json:"workers"`
+	LiveWorkers int `json:"live_workers"`
+	// QueueLen/QueueCap expose queue pressure; QueueLen == QueueCap is
+	// the saturation point where new requests bounce with ErrOverloaded.
+	QueueLen int `json:"queue_len"`
+	QueueCap int `json:"queue_cap"`
+	// Panics and ModelVersion mirror the Stats counters most relevant
+	// to an operator reading a health probe.
+	Panics       uint64 `json:"panics"`
+	ModelVersion uint64 `json:"model_version"`
+}
+
+// Ready reports whether a load balancer should route traffic here: the
+// server is warmed up, not draining, and not saturated.
+func (h Health) Ready() bool { return h.State == HealthOK }
+
+// Health computes the current serving state.
+func (s *Server) Health() Health {
+	h := Health{
+		Workers:      s.cfg.Workers,
+		LiveWorkers:  int(s.live.Load()),
+		QueueLen:     len(s.queue),
+		QueueCap:     cap(s.queue),
+		Panics:       s.panics.Load(),
+		ModelVersion: s.engine.Load().version,
+	}
+	switch {
+	case s.isClosed():
+		h.State = HealthDraining
+		h.Reason = "close in progress; finishing accepted requests"
+	case h.LiveWorkers < h.Workers:
+		h.State = HealthDegraded
+		h.Reason = "workers lost"
+	case h.QueueLen >= h.QueueCap:
+		h.State = HealthDegraded
+		h.Reason = "queue saturated"
+	case !s.ready.Load():
+		h.State = HealthStarting
+		h.Reason = "warming up"
+	default:
+		h.State = HealthOK
+	}
+	return h
+}

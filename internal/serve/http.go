@@ -1,16 +1,19 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"sync"
+	"time"
 
 	"repro/internal/tensor"
 )
 
-// HTTP surface: POST /classify, GET /healthz, GET /stats.
+// HTTP surface: POST /classify, GET /healthz, GET /readyz, GET /stats,
+// POST /admin/reload.
 //
 // /classify accepts one sample or a list; each sample travels through the
 // micro-batching queue individually, so concurrent clients (and the
@@ -20,11 +23,19 @@ import (
 //	{"input": [c·h·w floats]}        -> {"class": 3}
 //	{"inputs": [[...], [...], ...]}  -> {"classes": [3, 1]}
 //
+// Requests run under the client's connection context plus an optional
+// deadline: a "deadline_ms" payload field (or Config.DefaultDeadline when
+// the field is absent). A request whose deadline expires before its batch
+// runs answers 504 and its queued work is dropped before the GEMM; a
+// client that disconnects gets the nginx-convention 499 and is likewise
+// lazily dropped.
+//
 // A full queue answers 503 (backpressure; clients retry), a bad payload
-// 400, an engine failure 500. Admission is bounded before the queue is
-// ever touched: request bodies are capped at maxBodyBytes and one
-// request may carry at most maxInputsPerRequest samples, so an oversized
-// POST cannot sidestep the queue's backpressure by sheer payload size.
+// 400, an engine failure or panic 500. Admission is bounded before the
+// queue is ever touched: request bodies are capped at maxBodyBytes and
+// one request may carry at most maxInputsPerRequest samples, so an
+// oversized POST cannot sidestep the queue's backpressure by sheer
+// payload size.
 
 const (
 	// maxBodyBytes bounds a /classify request body (64 MiB ≈ a
@@ -33,12 +44,22 @@ const (
 	// maxInputsPerRequest bounds the samples one request may fan out
 	// into the queue.
 	maxInputsPerRequest = 1024
+	// maxFanout bounds the goroutines one multi-sample request may hold
+	// concurrently in the queue; remaining samples are submitted as
+	// earlier ones complete.
+	maxFanout = 64
+	// statusClientClosedRequest is nginx's convention for "the client
+	// went away before we could answer".
+	statusClientClosedRequest = 499
 )
 
 // classifyRequest is the /classify payload.
 type classifyRequest struct {
 	Input  []float32   `json:"input,omitempty"`
 	Inputs [][]float32 `json:"inputs,omitempty"`
+	// DeadlineMs, when positive, bounds this request's total time in
+	// milliseconds (queue wait + inference); expiry answers 504.
+	DeadlineMs int `json:"deadline_ms,omitempty"`
 }
 
 type classifyResponse struct {
@@ -50,12 +71,19 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
+// reloadResponse is the /admin/reload success payload.
+type reloadResponse struct {
+	Version uint64 `json:"version"`
+}
+
 // Handler returns the HTTP mux for the server.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/classify", s.handleClassify)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/admin/reload", s.handleReload)
 	return mux
 }
 
@@ -69,6 +97,20 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
 		return
 	}
+	if req.DeadlineMs < 0 {
+		httpError(w, http.StatusBadRequest, "negative deadline_ms")
+		return
+	}
+	ctx := r.Context()
+	deadline := s.cfg.DefaultDeadline
+	if req.DeadlineMs > 0 {
+		deadline = time.Duration(req.DeadlineMs) * time.Millisecond
+	}
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+		defer cancel()
+	}
 	switch {
 	case req.Input != nil && req.Inputs != nil:
 		httpError(w, http.StatusBadRequest, `pass either "input" or "inputs", not both`)
@@ -76,14 +118,14 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest,
 			fmt.Sprintf("request carries %d samples, max %d per request", len(req.Inputs), maxInputsPerRequest))
 	case req.Input != nil:
-		class, err := s.Classify(req.Input)
+		class, err := s.ClassifyCtx(ctx, req.Input)
 		if err != nil {
 			httpError(w, statusFor(err), err.Error())
 			return
 		}
 		writeJSON(w, http.StatusOK, classifyResponse{Class: &class})
 	case req.Inputs != nil:
-		classes, err := s.classifyMany(req.Inputs)
+		classes, err := s.classifyMany(ctx, req.Inputs)
 		if err != nil {
 			httpError(w, statusFor(err), err.Error())
 			return
@@ -94,35 +136,111 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// classifyMany submits every sample concurrently so they can share
-// micro-batches; the first error wins.
-func (s *Server) classifyMany(inputs [][]float32) ([]int, error) {
+// classifyMany submits the samples through a bounded worker pool (at
+// most maxFanout concurrent queue entries, not one goroutine per sample)
+// so they can share micro-batches; the first error wins and cancels the
+// rest — once one sample bounces with ErrOverloaded the remaining ones
+// are not submitted at all.
+func (s *Server) classifyMany(ctx context.Context, inputs [][]float32) ([]int, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	classes := make([]int, len(inputs))
-	errs := make([]error, len(inputs))
-	var wg sync.WaitGroup
-	wg.Add(len(inputs))
-	for i := range inputs {
-		go func(i int) {
-			defer wg.Done()
-			classes[i], errs[i] = s.Classify(inputs[i])
-		}(i)
+	fanout := len(inputs)
+	if fanout > maxFanout {
+		fanout = maxFanout
 	}
+	var (
+		errOnce  sync.Once
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	idx := make(chan int)
+	wg.Add(fanout)
+	for w := 0; w < fanout; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if ctx.Err() != nil {
+					continue // fail fast: drain without submitting
+				}
+				class, err := s.ClassifyCtx(ctx, inputs[i])
+				if err != nil {
+					errOnce.Do(func() { firstErr = err })
+					cancel()
+					continue
+				}
+				classes[i] = class
+			}
+		}()
+	}
+	for i := range inputs {
+		idx <- i
+	}
+	close(idx)
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return classes, nil
 }
 
+// handleHealthz is the liveness probe: the process is worth keeping for
+// every state except draining. The body carries the full health view so
+// operators can see degraded/starting without a separate endpoint.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	h := s.Health()
+	status := http.StatusOK
+	if h.State == HealthDraining {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, h)
+}
+
+// handleReadyz is the readiness probe: 200 only when a load balancer
+// should send traffic here (warmed up, not draining, not saturated).
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	h := s.Health()
+	status := http.StatusOK
+	if !h.Ready() {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, h)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
 	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// handleReload hot-swaps a freshly loaded engine (Config.Reload) under
+// load: POST /admin/reload -> {"version": N}. In-flight batches finish
+// on the old engine.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if s.cfg.Reload == nil {
+		httpError(w, http.StatusNotImplemented, "no reload function configured (aptserve wires one when serving a checkpoint)")
+		return
+	}
+	version, err := s.Reload()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, reloadResponse{Version: version})
 }
 
 // statusFor maps service errors onto HTTP statuses.
@@ -132,6 +250,10 @@ func statusFor(err error) int {
 		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrClosed):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrDeadline):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, ErrCanceled):
+		return statusClientClosedRequest
 	case errors.Is(err, tensor.ErrShape):
 		return http.StatusBadRequest
 	default:

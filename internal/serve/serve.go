@@ -24,9 +24,29 @@
 // queueing unboundedly — callers see 503 and retry against a healthy
 // replica rather than stacking latency. Rejected requests are counted in
 // Stats.
+//
+// # Fault tolerance
+//
+// The server is built to survive the failures a serving tier actually
+// sees, not just the happy path:
+//
+//   - Deadlines & cancellation: ClassifyCtx threads a context through
+//     the queue. A caller whose context expires returns immediately with
+//     ErrDeadline/ErrCanceled; its queued work is lazily dropped by the
+//     workers before it ever reaches the GEMM (Stats.Dropped).
+//   - Panic isolation: a panicking engine cannot strand callers or
+//     silently shrink capacity. The worker recovers, answers every
+//     request of the failed batch with ErrEnginePanic, counts the event
+//     in Stats.Panics, and respawns itself so the worker count is
+//     conserved.
+//   - Hot swap: Swap atomically replaces the engine under load
+//     (in-flight batches finish on the old engine; see swap.go).
+//   - Health: Health reports starting/ok/degraded/draining with the
+//     live worker count and queue depth (see health.go).
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -50,10 +70,26 @@ var ErrOverloaded = errors.New("serve: queue full")
 // ErrClosed is returned for requests submitted after Close.
 var ErrClosed = errors.New("serve: server closed")
 
+// ErrDeadline is returned when a request's context deadline expires
+// before its micro-batch has run. The queued work is dropped before it
+// reaches the engine.
+var ErrDeadline = errors.New("serve: request deadline exceeded")
+
+// ErrCanceled is returned when a request's context is canceled (the
+// caller went away). The queued work is dropped before it reaches the
+// engine.
+var ErrCanceled = errors.New("serve: request canceled")
+
+// ErrEnginePanic is the error every request of a batch receives when the
+// engine panicked while classifying it. The worker that hit the panic
+// respawns, so capacity is not lost.
+var ErrEnginePanic = errors.New("serve: engine panicked")
+
 // Config configures New.
 type Config struct {
 	// Engine classifies packed (N, C, H, W) batches. It must be safe for
-	// concurrent calls when Workers > 1 (infer.Engine is).
+	// concurrent calls when Workers > 1 (infer.Engine is). It can be
+	// replaced at runtime with Server.Swap.
 	Engine Classifier
 	// InC, InH, InW is the per-sample input geometry. When all three are
 	// zero and the engine reports its own geometry (infer.Engine does,
@@ -70,13 +106,54 @@ type Config struct {
 	// QueueCap bounds the request queue; a full queue rejects with
 	// ErrOverloaded. Default 4·MaxBatch·Workers.
 	QueueCap int
+	// DefaultDeadline, when positive, bounds every HTTP /classify
+	// request that does not carry its own deadline_ms. Zero means no
+	// server-imposed deadline. ClassifyCtx is not affected — its context
+	// is the caller's to bound.
+	DefaultDeadline time.Duration
+	// Reload, when set, enables POST /admin/reload and Server.Reload:
+	// it produces a fresh Classifier (e.g. by re-reading a checkpoint)
+	// which is then Swapped in atomically.
+	Reload func() (Classifier, error)
+	// Warmup, when true, runs one zero-sample classification through the
+	// engine in the background after New returns; Health reports
+	// "starting" until it (or the first real batch) completes. Off by
+	// default so unit tests with gated stub engines are not perturbed.
+	Warmup bool
 }
 
 // request is one queued sample.
 type request struct {
 	img  []float32
-	resp chan response
+	ctx  context.Context
+	resp chan response // buffered 1; reply() sends at most once
 	enq  time.Time
+
+	abandoned atomic.Bool // caller returned (ctx expired); drop lazily
+	answered  atomic.Bool // reply() guard
+}
+
+// reply delivers the response unless one was already delivered. The
+// channel is buffered and written at most once, so reply never blocks
+// even when the caller has abandoned the request.
+func (r *request) reply(resp response) {
+	if r.answered.CompareAndSwap(false, true) {
+		r.resp <- resp
+	}
+}
+
+// expired reports whether the request is not worth running: its caller
+// has already returned, or its context is done.
+func (r *request) expired() bool {
+	if r.abandoned.Load() {
+		return true
+	}
+	select {
+	case <-r.ctx.Done():
+		return true
+	default:
+		return false
+	}
 }
 
 type response struct {
@@ -90,16 +167,26 @@ type Server struct {
 	sample int
 	queue  chan *request
 
+	engine atomic.Pointer[engineBox] // current model; see swap.go
+	swapMu sync.Mutex                // serializes Swap version bumps
+
 	mu     sync.RWMutex // guards closed vs. queue sends
 	closed bool
 
 	wg    sync.WaitGroup
 	start time.Time
 
+	live  atomic.Int64 // worker slots currently alive (conserved by respawn)
+	ready atomic.Bool  // warmup (or first batch) completed
+
 	requests atomic.Uint64
 	batches  atomic.Uint64
 	rejected atomic.Uint64
 	errored  atomic.Uint64
+	panics   atomic.Uint64
+	dropped  atomic.Uint64 // expired requests discarded before the engine
+	canceled atomic.Uint64 // callers that returned on ctx deadline/cancel
+	swaps    atomic.Uint64
 
 	latMu  sync.Mutex
 	lat    [4096]int64 // ns, ring buffer
@@ -135,15 +222,25 @@ func New(cfg Config) (*Server, error) {
 	if cfg.QueueCap <= 0 {
 		cfg.QueueCap = 4 * cfg.MaxBatch * cfg.Workers
 	}
+	if cfg.DefaultDeadline < 0 {
+		return nil, fmt.Errorf("serve: negative DefaultDeadline")
+	}
 	s := &Server{
 		cfg:    cfg,
 		sample: cfg.InC * cfg.InH * cfg.InW,
 		queue:  make(chan *request, cfg.QueueCap),
 		start:  time.Now(),
 	}
+	s.engine.Store(&engineBox{c: cfg.Engine, version: 1})
 	s.wg.Add(cfg.Workers)
+	s.live.Add(int64(cfg.Workers))
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
+	}
+	if cfg.Warmup {
+		go s.warmup()
+	} else {
+		s.ready.Store(true)
 	}
 	return s, nil
 }
@@ -153,11 +250,25 @@ func New(cfg Config) (*Server, error) {
 // sample slice is read until the call returns; the caller keeps ownership
 // afterwards.
 func (s *Server) Classify(img []float32) (int, error) {
+	return s.ClassifyCtx(context.Background(), img)
+}
+
+// ClassifyCtx is Classify with a deadline/cancellation contract: when ctx
+// expires before the sample's micro-batch has run, the call returns
+// ErrDeadline (or ErrCanceled) immediately and the queued work is lazily
+// dropped by the workers — abandoned samples never reach the GEMM. A ctx
+// that expires while the batch is already running does not interrupt the
+// engine; the result is simply discarded.
+func (s *Server) ClassifyCtx(ctx context.Context, img []float32) (int, error) {
 	if len(img) != s.sample {
 		return 0, fmt.Errorf("serve: %w: sample has %d values, want %d (C·H·W = %d·%d·%d)",
 			tensor.ErrShape, len(img), s.sample, s.cfg.InC, s.cfg.InH, s.cfg.InW)
 	}
-	req := &request{img: img, resp: make(chan response, 1), enq: time.Now()}
+	if err := ctx.Err(); err != nil {
+		s.canceled.Add(1)
+		return 0, ctxErr(err)
+	}
+	req := &request{img: img, ctx: ctx, resp: make(chan response, 1), enq: time.Now()}
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
@@ -171,12 +282,27 @@ func (s *Server) Classify(img []float32) (int, error) {
 		s.rejected.Add(1)
 		return 0, ErrOverloaded
 	}
-	r := <-req.resp
-	return r.class, r.err
+	select {
+	case r := <-req.resp:
+		return r.class, r.err
+	case <-ctx.Done():
+		req.abandoned.Store(true)
+		s.canceled.Add(1)
+		return 0, ctxErr(ctx.Err())
+	}
+}
+
+// ctxErr maps a context error onto the service's sentinel errors.
+func ctxErr(err error) error {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return ErrDeadline
+	}
+	return ErrCanceled
 }
 
 // Close stops accepting requests, drains the queue, and waits for the
-// workers to finish their in-flight batches.
+// workers to finish their in-flight batches. Every request accepted
+// before Close is answered.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -189,11 +315,65 @@ func (s *Server) Close() {
 	s.wg.Wait()
 }
 
+// isClosed reports whether Close has begun (the server is draining).
+func (s *Server) isClosed() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.closed
+}
+
+// warmup pushes one zero sample through the engine so the first real
+// request does not pay cold-start costs (page faults on packed panels,
+// pool growth); Health reports "starting" until it completes. An engine
+// that panics during warmup is tolerated — the panic is counted and the
+// server proceeds (workers will isolate per-batch panics).
+func (s *Server) warmup() {
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Add(1)
+		}
+		s.ready.Store(true)
+	}()
+	x, err := tensor.FromSlice(make([]float32, s.sample), 1, s.cfg.InC, s.cfg.InH, s.cfg.InW)
+	if err == nil {
+		_, _ = s.engine.Load().c.Classify(x)
+	}
+}
+
 // worker is one batching loop: block for a request, gather until the
 // batch is full or MaxDelay elapses, run the engine once for the whole
 // batch, deliver per-request results.
+//
+// The loop is panic-isolated: if anything in the batch path panics
+// (realistically the engine), the deferred recovery answers every
+// request of the in-flight batch with ErrEnginePanic and respawns the
+// worker. The respawned goroutine inherits this worker's WaitGroup slot,
+// so Close still waits for exactly Workers exits and the live-worker
+// gauge is conserved — capacity is never silently lost.
 func (s *Server) worker() {
-	defer s.wg.Done()
+	var cur []*request // in-flight batch, visible to the recovery path
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Add(1)
+			n := uint64(0)
+			err := fmt.Errorf("%w: %v", ErrEnginePanic, r)
+			for _, req := range cur {
+				// reply is CAS-guarded: requests runBatch already
+				// answered are skipped.
+				if req.answered.CompareAndSwap(false, true) {
+					req.resp <- response{err: err}
+					n++
+				}
+			}
+			s.requests.Add(n)
+			s.errored.Add(n)
+			s.batches.Add(1)
+			go s.worker() // inherit the wg slot and live count
+			return
+		}
+		s.live.Add(-1)
+		s.wg.Done()
+	}()
 	batch := make([]*request, 0, s.cfg.MaxBatch)
 	buf := make([]float32, s.cfg.MaxBatch*s.sample)
 	timer := time.NewTimer(time.Hour)
@@ -205,17 +385,25 @@ func (s *Server) worker() {
 		if !ok {
 			return
 		}
-		batch = append(batch[:0], first)
+		if first.expired() {
+			s.drop(first)
+			continue
+		}
+		cur = append(batch[:0], first)
 		timer.Reset(s.cfg.MaxDelay)
 		fired := false
 	gather:
-		for len(batch) < s.cfg.MaxBatch {
+		for len(cur) < s.cfg.MaxBatch {
 			select {
 			case req, ok := <-s.queue:
 				if !ok {
 					break gather // closed: run what we have
 				}
-				batch = append(batch, req)
+				if req.expired() {
+					s.drop(req)
+					continue
+				}
+				cur = append(cur, req)
 			case <-timer.C:
 				fired = true
 				break gather
@@ -224,12 +412,28 @@ func (s *Server) worker() {
 		if !fired && !timer.Stop() {
 			<-timer.C
 		}
-		s.runBatch(batch, buf)
+		s.runBatch(cur, buf)
+		batch = cur[:0]
+		cur = nil // answered; recovery must not touch it
 	}
 }
 
+// drop discards an expired request before it reaches the engine — the
+// lazy half of the cancellation contract (the eager half is the caller's
+// select in ClassifyCtx). The reply is a no-op when the caller is gone.
+func (s *Server) drop(req *request) {
+	s.dropped.Add(1)
+	err := ErrDeadline
+	if cerr := req.ctx.Err(); cerr != nil {
+		err = ctxErr(cerr)
+	}
+	req.reply(response{err: err})
+}
+
 // runBatch packs the gathered samples into one tensor, classifies them
-// with a single engine call, and answers every request.
+// with a single engine call, and answers every request. The engine is
+// read once per batch from the atomic holder, so a concurrent Swap takes
+// effect on the next batch while this one finishes on the old engine.
 func (s *Server) runBatch(batch []*request, buf []float32) {
 	n := len(batch)
 	for i, req := range batch {
@@ -238,7 +442,7 @@ func (s *Server) runBatch(batch []*request, buf []float32) {
 	x, err := tensor.FromSlice(buf[:n*s.sample], n, s.cfg.InC, s.cfg.InH, s.cfg.InW)
 	var preds []int
 	if err == nil {
-		preds, err = s.cfg.Engine.Classify(x)
+		preds, err = s.engine.Load().c.Classify(x)
 		if err == nil && len(preds) != n {
 			err = fmt.Errorf("serve: engine returned %d predictions for %d samples", len(preds), n)
 		}
@@ -248,6 +452,8 @@ func (s *Server) runBatch(batch []*request, buf []float32) {
 	s.requests.Add(uint64(n))
 	if err != nil {
 		s.errored.Add(uint64(n))
+	} else {
+		s.ready.Store(true)
 	}
 	s.latMu.Lock()
 	for _, req := range batch {
@@ -260,10 +466,10 @@ func (s *Server) runBatch(batch []*request, buf []float32) {
 	s.latMu.Unlock()
 	for i, req := range batch {
 		if err != nil {
-			req.resp <- response{err: err}
+			req.reply(response{err: err})
 			continue
 		}
-		req.resp <- response{class: preds[i]}
+		req.reply(response{class: preds[i]})
 	}
 }
 
@@ -273,6 +479,21 @@ type Stats struct {
 	Batches  uint64 `json:"batches"`
 	Rejected uint64 `json:"rejected"`
 	Errored  uint64 `json:"errored"`
+	// Panics counts engine panics recovered by workers (each one failed
+	// a batch and respawned the worker).
+	Panics uint64 `json:"panics"`
+	// Dropped counts expired requests discarded before reaching the
+	// engine; Canceled counts callers that returned on context
+	// deadline/cancellation.
+	Dropped  uint64 `json:"dropped"`
+	Canceled uint64 `json:"canceled"`
+	// Swaps counts hot engine replacements; ModelVersion is the current
+	// engine's version (1 = the engine the server started with).
+	Swaps        uint64 `json:"swaps"`
+	ModelVersion uint64 `json:"model_version"`
+	// LiveWorkers is the number of batching workers currently alive;
+	// respawn keeps it at the configured count.
+	LiveWorkers int `json:"live_workers"`
 	// MeanBatch is requests per engine call — the batching win.
 	MeanBatch float64 `json:"mean_batch"`
 	// P50/P99 request latency (queue wait + inference) over a sliding
@@ -287,10 +508,16 @@ type Stats struct {
 // Stats returns a snapshot of the server counters and latency quantiles.
 func (s *Server) Stats() Stats {
 	st := Stats{
-		Requests: s.requests.Load(),
-		Batches:  s.batches.Load(),
-		Rejected: s.rejected.Load(),
-		Errored:  s.errored.Load(),
+		Requests:     s.requests.Load(),
+		Batches:      s.batches.Load(),
+		Rejected:     s.rejected.Load(),
+		Errored:      s.errored.Load(),
+		Panics:       s.panics.Load(),
+		Dropped:      s.dropped.Load(),
+		Canceled:     s.canceled.Load(),
+		Swaps:        s.swaps.Load(),
+		ModelVersion: s.engine.Load().version,
+		LiveWorkers:  int(s.live.Load()),
 	}
 	if st.Batches > 0 {
 		st.MeanBatch = float64(st.Requests) / float64(st.Batches)

@@ -58,6 +58,18 @@ func (c *stubClassifier) batchSizes() []int {
 	return append([]int(nil), c.batches...)
 }
 
+// samplesSeen is the total number of samples the engine has classified —
+// the lazy-drop tests pin that expired work never inflates it.
+func (c *stubClassifier) samplesSeen() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	total := 0
+	for _, n := range c.batches {
+		total += n
+	}
+	return total
+}
+
 func sample(v float32, n int) []float32 {
 	s := make([]float32, n)
 	s[0] = v
@@ -326,6 +338,9 @@ func TestStatusFor(t *testing.T) {
 	}{
 		{ErrOverloaded, http.StatusServiceUnavailable},
 		{ErrClosed, http.StatusServiceUnavailable},
+		{ErrDeadline, http.StatusGatewayTimeout},
+		{ErrCanceled, statusClientClosedRequest},
+		{ErrEnginePanic, http.StatusInternalServerError},
 		{tensor.ErrShape, http.StatusBadRequest},
 		{errors.New("boom"), http.StatusInternalServerError},
 	}
