@@ -478,6 +478,7 @@ func TestHealthStates(t *testing.T) {
 	s2, _ := newTestServer(t, Config{
 		Engine: stub, InC: 1, InH: 2, InW: 2,
 		Workers: 1, MaxBatch: 1, QueueCap: 1, MaxDelay: time.Millisecond,
+		SaturationGrace: 5 * time.Millisecond,
 	})
 	ts2 := httptest.NewServer(s2.Handler())
 	defer ts2.Close()
@@ -497,8 +498,15 @@ func TestHealthStates(t *testing.T) {
 			time.Sleep(time.Millisecond)
 		}
 	}
+	// The first saturated observation must NOT degrade health — the grace
+	// window keeps a momentary burst from flipping the replica not-ready.
+	if h := s2.Health(); h.State != HealthOK {
+		t.Errorf("instantaneously saturated health = %s (%s), want ok (inside grace window)", h.State, h.Reason)
+	}
+	// Saturation that persists past the grace window does degrade.
+	waitState(t, s2, HealthDegraded)
 	if h := s2.Health(); h.State != HealthDegraded || h.Reason != "queue saturated" {
-		t.Errorf("saturated health = %s (%s), want degraded (queue saturated)", h.State, h.Reason)
+		t.Errorf("sustained saturation health = %s (%s), want degraded (queue saturated)", h.State, h.Reason)
 	}
 	if code := getStatus(t, ts2.URL+"/readyz"); code != http.StatusServiceUnavailable {
 		t.Errorf("readyz when saturated = %d, want 503", code)
@@ -614,6 +622,23 @@ func TestClassifyManyFailFast(t *testing.T) {
 	if peak > base+maxFanout+16 {
 		t.Errorf("fan-out peaked at %d goroutines over a %d baseline, want <= baseline+%d+slack",
 			peak, base, maxFanout)
+	}
+}
+
+// TestClassifyManyExpiredCtxReportsError pins the regression where a
+// context expiry observed while no fan-out worker was inside ClassifyCtx
+// skipped the remaining samples without recording any error — classifyMany
+// returned nil and the handler answered 200 OK with zero-valued classes
+// for samples that were never classified.
+func TestClassifyManyExpiredCtxReportsError(t *testing.T) {
+	s, _ := newTestServer(t, Config{MaxDelay: time.Millisecond})
+	inputs := [][]float32{sample(1, 4), sample(1, 4), sample(1, 4)}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	<-ctx.Done()
+	classes, err := s.classifyMany(ctx, inputs)
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("classifyMany with expired ctx = %v, %v; want nil classes and ErrDeadline", classes, err)
 	}
 }
 

@@ -1,5 +1,7 @@
 package serve
 
+import "time"
+
 // Health states. The serving tier distinguishes liveness ("is the
 // process worth keeping") from readiness ("should a load balancer send
 // it traffic"); /healthz and /readyz map these states onto HTTP in
@@ -9,6 +11,11 @@ package serve
 //	ok        full capacity, queue has headroom
 //	degraded  workers lost or queue saturated; still serving
 //	draining  Close has begun; rejects new work, finishes accepted work
+//
+// Queue saturation only degrades health after it has persisted for
+// Config.SaturationGrace across successive Health observations — a
+// momentary burst sheds load via ErrOverloaded without flipping the
+// replica not-ready (see Config.SaturationGrace).
 
 // HealthState is the coarse serving state.
 type HealthState string
@@ -31,7 +38,9 @@ type Health struct {
 	Workers     int `json:"workers"`
 	LiveWorkers int `json:"live_workers"`
 	// QueueLen/QueueCap expose queue pressure; QueueLen == QueueCap is
-	// the saturation point where new requests bounce with ErrOverloaded.
+	// the point where new requests bounce with ErrOverloaded. Health
+	// counts the queue as saturated from 90% of cap, but only reports
+	// degraded once saturation has persisted for Config.SaturationGrace.
 	QueueLen int `json:"queue_len"`
 	QueueCap int `json:"queue_cap"`
 	// Panics and ModelVersion mirror the Stats counters most relevant
@@ -61,7 +70,7 @@ func (s *Server) Health() Health {
 	case h.LiveWorkers < h.Workers:
 		h.State = HealthDegraded
 		h.Reason = "workers lost"
-	case h.QueueLen >= h.QueueCap:
+	case s.sustainedSaturation(h.QueueLen, h.QueueCap):
 		h.State = HealthDegraded
 		h.Reason = "queue saturated"
 	case !s.ready.Load():
@@ -71,4 +80,25 @@ func (s *Server) Health() Health {
 		h.State = HealthOK
 	}
 	return h
+}
+
+// sustainedSaturation reports whether the queue has been saturated (at or
+// above 90% of cap) for at least Config.SaturationGrace, as observed by
+// successive Health calls: the first saturated observation starts the
+// clock, any unsaturated observation resets it. Health probes are the
+// sampler, so "persisted" means every probe in the grace window saw a
+// saturated queue — exactly the hysteresis a load balancer needs to avoid
+// ejecting every replica on one synchronized burst.
+func (s *Server) sustainedSaturation(queueLen, queueCap int) bool {
+	saturated := queueLen*10 >= queueCap*9
+	s.satMu.Lock()
+	defer s.satMu.Unlock()
+	if !saturated {
+		s.satSince = time.Time{}
+		return false
+	}
+	if s.satSince.IsZero() {
+		s.satSince = time.Now()
+	}
+	return time.Since(s.satSince) >= s.cfg.SaturationGrace
 }

@@ -160,8 +160,16 @@ func (s *Server) classifyMany(ctx context.Context, inputs [][]float32) ([]int, e
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				if ctx.Err() != nil {
-					continue // fail fast: drain without submitting
+				if err := ctx.Err(); err != nil {
+					// Fail fast: drain without submitting. The expiry must
+					// still be recorded — otherwise a deadline that fires
+					// while no worker is inside ClassifyCtx would leave
+					// firstErr nil and the handler would answer 200 with
+					// zero-valued classes for samples never classified. A
+					// sibling's error still wins: errOnce was set before
+					// its cancel() made ctx.Err() non-nil here.
+					errOnce.Do(func() { firstErr = ctxErr(err) })
+					continue
 				}
 				class, err := s.ClassifyCtx(ctx, inputs[i])
 				if err != nil {

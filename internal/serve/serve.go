@@ -111,12 +111,20 @@ type Config struct {
 	// server-imposed deadline. ClassifyCtx is not affected — its context
 	// is the caller's to bound.
 	DefaultDeadline time.Duration
+	// SaturationGrace is how long queue saturation (depth at or above
+	// 90% of QueueCap) must persist — as observed by successive Health
+	// probes — before Health reports degraded and /readyz drops to 503.
+	// The hysteresis keeps a synchronized traffic burst from flipping
+	// every replica not-ready at the same instant and ejecting the whole
+	// fleet from the load balancer; momentary spikes are already handled
+	// by per-request ErrOverloaded backpressure. Default 2s.
+	SaturationGrace time.Duration
 	// Reload, when set, enables POST /admin/reload and Server.Reload:
 	// it produces a fresh Classifier (e.g. by re-reading a checkpoint)
 	// which is then Swapped in atomically.
 	Reload func() (Classifier, error)
 	// Warmup, when true, runs one zero-sample classification through the
-	// engine in the background after New returns; Health reports
+	// request queue in the background after New returns; Health reports
 	// "starting" until it (or the first real batch) completes. Off by
 	// default so unit tests with gated stub engines are not perturbed.
 	Warmup bool
@@ -179,6 +187,9 @@ type Server struct {
 	live  atomic.Int64 // worker slots currently alive (conserved by respawn)
 	ready atomic.Bool  // warmup (or first batch) completed
 
+	satMu    sync.Mutex
+	satSince time.Time // first Health observation of queue saturation; zero when unsaturated
+
 	requests atomic.Uint64
 	batches  atomic.Uint64
 	rejected atomic.Uint64
@@ -225,6 +236,12 @@ func New(cfg Config) (*Server, error) {
 	if cfg.DefaultDeadline < 0 {
 		return nil, fmt.Errorf("serve: negative DefaultDeadline")
 	}
+	if cfg.SaturationGrace < 0 {
+		return nil, fmt.Errorf("serve: negative SaturationGrace")
+	}
+	if cfg.SaturationGrace == 0 {
+		cfg.SaturationGrace = 2 * time.Second
+	}
 	s := &Server{
 		cfg:    cfg,
 		sample: cfg.InC * cfg.InH * cfg.InW,
@@ -258,7 +275,8 @@ func (s *Server) Classify(img []float32) (int, error) {
 // ErrDeadline (or ErrCanceled) immediately and the queued work is lazily
 // dropped by the workers — abandoned samples never reach the GEMM. A ctx
 // that expires while the batch is already running does not interrupt the
-// engine; the result is simply discarded.
+// engine; the result is returned if it is already available when the
+// caller observes the expiry, and discarded otherwise.
 func (s *Server) ClassifyCtx(ctx context.Context, img []float32) (int, error) {
 	if len(img) != s.sample {
 		return 0, fmt.Errorf("serve: %w: sample has %d values, want %d (C·H·W = %d·%d·%d)",
@@ -287,6 +305,14 @@ func (s *Server) ClassifyCtx(ctx context.Context, img []float32) (int, error) {
 		return r.class, r.err
 	case <-ctx.Done():
 		req.abandoned.Store(true)
+		// When the response and the expiry race, prefer the response:
+		// the batch ran and was counted as served, so answering
+		// ErrDeadline here would report a completed request as failed.
+		select {
+		case r := <-req.resp:
+			return r.class, r.err
+		default:
+		}
 		s.canceled.Add(1)
 		return 0, ctxErr(ctx.Err())
 	}
@@ -322,22 +348,17 @@ func (s *Server) isClosed() bool {
 	return s.closed
 }
 
-// warmup pushes one zero sample through the engine so the first real
-// request does not pay cold-start costs (page faults on packed panels,
-// pool growth); Health reports "starting" until it completes. An engine
-// that panics during warmup is tolerated — the panic is counted and the
-// server proceeds (workers will isolate per-batch panics).
+// warmup pushes one zero sample through the normal request queue so the
+// first real request does not pay cold-start costs (page faults on packed
+// panels, pool growth); Health reports "starting" until it completes.
+// Going through the queue keeps the engine's concurrency contract intact
+// (Config.Engine only promises concurrent safety when Workers > 1, and
+// warmup must not be an extra concurrent caller) and hands a panicking or
+// erroring engine to the worker's isolation path — the warmup result,
+// whatever it is, is discarded.
 func (s *Server) warmup() {
-	defer func() {
-		if r := recover(); r != nil {
-			s.panics.Add(1)
-		}
-		s.ready.Store(true)
-	}()
-	x, err := tensor.FromSlice(make([]float32, s.sample), 1, s.cfg.InC, s.cfg.InH, s.cfg.InW)
-	if err == nil {
-		_, _ = s.engine.Load().c.Classify(x)
-	}
+	defer s.ready.Store(true)
+	_, _ = s.Classify(make([]float32, s.sample))
 }
 
 // worker is one batching loop: block for a request, gather until the

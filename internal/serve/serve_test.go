@@ -104,6 +104,9 @@ func TestNewValidates(t *testing.T) {
 	if _, err := New(Config{Engine: &stubClassifier{}, InC: 1, InH: 2, InW: 2, MaxDelay: -time.Second}); err == nil {
 		t.Error("negative MaxDelay did not error")
 	}
+	if _, err := New(Config{Engine: &stubClassifier{}, InC: 1, InH: 2, InW: 2, SaturationGrace: -time.Second}); err == nil {
+		t.Error("negative SaturationGrace did not error")
+	}
 }
 
 // shapedStub is a stubClassifier that also reports its input geometry,
