@@ -219,6 +219,62 @@ func runKernelBenches(out io.Writer, jsonPath string) error {
 		}
 	})
 
+	// RequantQ31: the serving epilogue alone — requantize the transposed
+	// (position-major) accumulator block the packed GEMM above produces,
+	// at the same deploy geometry. This is the part of Engine.Forward that
+	// the SIMD requant kernels vectorized; tracking it next to the GEMM
+	// rows shows how the epilogue share of an int8 layer evolves. The op
+	// count is per-element (not MACs), so the MFLOP/s column reads as
+	// requantized elements ×2 per ns.
+	rqNP, rqNC := intM, intN
+	rqM0 := make([]int32, rqNC)
+	rqRsh := make([]int32, rqNC)
+	rqCorr := make([]int64, rqNC)
+	for c := 0; c < rqNC; c++ {
+		rqM0[c] = int32(1<<30 + c*12345)
+		rqRsh[c] = int32(18 + c%8)
+		rqCorr[c] = int64(c*1009 - 5000)
+	}
+	rqAcc := make([]int32, rqNP*rqNC)
+	for i := range rqAcc {
+		rqAcc[i] = int32(rng.Intn(1<<22) - 1<<21)
+	}
+	record("RequantQ31", 2*float64(rqNP)*float64(rqNC), func(b *testing.B) {
+		dst := make([]uint8, rqNC*rqNP)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tensor.RequantQ31Transpose(dst, rqAcc, rqM0, rqRsh, rqCorr, 3, 0, rqNP, rqNC, rqNC, rqNP)
+		}
+	})
+
+	// EdgePanelGEMM: the narrow shapes that used to fall off the packed
+	// path entirely — a classifier-head float GEMM (n=10 → one 8-wide
+	// panel plus a 2-column edge) and a first-layer-dW-shaped int8 GEMM
+	// with a partial final panel. Before the 8-wide and masked-store edge
+	// kernels these ran the dot/AXPY fallback; the row exists so a
+	// regression that reroutes them shows up as a step.
+	edgeM, edgeK, edgeN := 512, 256, 10
+	edgeFlops := 2 * float64(edgeM) * float64(edgeK) * float64(edgeN)
+	record("EdgePanelGEMM", edgeFlops, func(b *testing.B) {
+		a := tensor.New(edgeM, edgeK)
+		bm := tensor.New(edgeK, edgeN)
+		fillRNG := tensor.NewRNG(11)
+		for i, d := 0, a.Data(); i < len(d); i++ {
+			d[i] = fillRNG.Float32()
+		}
+		for i, d := 0, bm.Data(); i < len(d); i++ {
+			d[i] = fillRNG.Float32()
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := tensor.MatMul(a, bm); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
 	// FloatGEMMPacked: the conv-shaped float GEMM through the packed 4×16
 	// FMA micro-kernel with B pre-packed — kernel time alone, the number
 	// to compare against MatMulConvShaped's AXPY-era entries. The packing

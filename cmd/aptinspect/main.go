@@ -18,6 +18,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/models"
 	"repro/internal/quant"
+	"repro/internal/tensor"
 )
 
 func main() {
@@ -112,6 +113,7 @@ func run(args []string, out io.Writer) error {
 		macs, em.IterationEnergy(snap), em.FP32Reference(snap, 1))
 	fmt.Fprintf(out, "per-MAC energy at %d bits: %.4f of a 32-bit MAC\n",
 		*bits, em.MACCost(*bits)/em.MACCost(quant.MaxBits))
+	fmt.Fprintf(out, "kernel dispatch: %s\n", tensor.KernelSummary())
 	return nil
 }
 

@@ -227,7 +227,8 @@ func TestInferMicroBench(t *testing.T) {
 	for _, name := range []string{
 		"int8_engine_forward_b1", "int8_engine_forward_b4",
 		"int8_engine_forward_b16", "int8_engine_forward_b64",
-		"float_model_forward_b1", "float_model_forward_b64",
+		"float_model_forward_b1", "float_model_forward_b4",
+		"float_model_forward_b16", "float_model_forward_b64",
 	} {
 		s := rep.Series[name]
 		if len(s) != 2 || s[0] <= 0 || s[1] <= 0 {
@@ -254,8 +255,8 @@ func TestInferMicroBench(t *testing.T) {
 	if err := json.Unmarshal(raw, &doc); err != nil {
 		t.Fatalf("JSON report invalid: %v", err)
 	}
-	// The batch sweep (1/4/16/64) plus the two float endpoints.
-	if len(doc.Rows) != 6 || doc.Serving.Requests == 0 {
+	// The int8 and float batch sweeps, 1/4/16/64 each.
+	if len(doc.Rows) != 8 || doc.Serving.Requests == 0 {
 		t.Errorf("JSON report shape: %d rows, %d served requests", len(doc.Rows), doc.Serving.Requests)
 	}
 }

@@ -162,13 +162,24 @@ func Infer(s Scale, log io.Writer) (*Report, error) {
 			int64ns = ns
 		}
 	}
-	_, err = measure("float_model_forward", 1, func() error { _, err := m.Net.Forward(one, false); return err })
-	if err != nil {
-		return nil, err
-	}
-	f64, err := measure("float_model_forward", batch, func() error { _, err := m.Net.Forward(x, false); return err })
-	if err != nil {
-		return nil, err
+	// Float baseline over the same batch grid, so every int8 row has a
+	// like-for-like float partner in the report.
+	var f64 float64
+	for _, bs := range []int{1, 4, 16, 64} {
+		xb := one
+		if bs > 1 {
+			xb, err = tensor.FromSlice(x.Data()[:bs*3*s.InputSize*s.InputSize], bs, 3, s.InputSize, s.InputSize)
+			if err != nil {
+				return nil, err
+			}
+		}
+		ns, err := measure("float_model_forward", bs, func() error { _, err := m.Net.Forward(xb, false); return err })
+		if err != nil {
+			return nil, err
+		}
+		if bs == batch {
+			f64 = ns
+		}
 	}
 
 	// Micro-batching server under concurrent clients.

@@ -13,12 +13,19 @@ import "math"
 // paper's §III quantization scheme (Jacob et al., CVPR 2018) was chosen
 // for.
 
-// accClamp bounds the accumulator before the Q31 multiply so the 64-bit
-// product cannot overflow (2^31 · 2^31 = 2^62 < 2^63). Real accumulators
-// are far smaller; the clamp only matters for degenerate channels whose
-// folded bias exploded the accumulator domain, and those saturate at the
-// uint8 boundary anyway.
-const accClamp = int64(1) << 31
+// accMax/accMin saturate the accumulator to the int32 range before the
+// Q31 multiply so the 64-bit product cannot overflow (2^31·2^31 = 2^62 <
+// 2^63). The bounds are exactly int32 saturation — the semantics the
+// vector requant kernels get for free from their hardware narrowing
+// (SQXTN on NEON, compare/blend on AVX2) — so the scalar path here, the
+// portable tensor kernels and the assembly are bit-identical everywhere.
+// Real accumulators are far smaller; the clamp only matters for
+// degenerate channels whose folded bias exploded the accumulator domain,
+// and those saturate at the uint8 boundary anyway.
+const (
+	accMax = int64(math.MaxInt32)
+	accMin = int64(math.MinInt32)
+)
 
 // lowerMultiplier decomposes a positive real multiplier into (m0, rsh).
 // Non-positive multipliers lower to (0, 31): everything requantizes to
@@ -44,15 +51,25 @@ func lowerMultiplier(m float64) (m0 int32, rsh int32) {
 }
 
 // requantize applies a lowered multiplier to an accumulator:
-// round(acc · m0 · 2^(−rsh)), rounding half away from zero toward +∞.
+// round(acc · m0 · 2^(−rsh)), rounding half toward +∞, with int32
+// saturation on the way in and the way out. This is the scalar mirror of
+// tensor.RequantQ31Rows/Transpose (the rounding contract is pinned by
+// TestRequantizeRounding and the tensor package's bit-identity fuzz
+// suite); the conv/linear epilogues run the vector form, while the
+// residual join below applies it to values far inside both clamps.
 func requantize(acc int64, m0 int32, rsh int32) int64 {
-	if acc > accClamp {
-		acc = accClamp
-	} else if acc < -accClamp {
-		acc = -accClamp
+	if acc > accMax {
+		acc = accMax
+	} else if acc < accMin {
+		acc = accMin
 	}
-	prod := acc * int64(m0)
-	return (prod + 1<<(uint(rsh)-1)) >> uint(rsh)
+	r := (acc*int64(m0) + 1<<(uint(rsh)-1)) >> uint(rsh)
+	if r > accMax {
+		r = accMax
+	} else if r < accMin {
+		r = accMin
+	}
+	return r
 }
 
 // clampU8 saturates a requantized value (already offset by the output

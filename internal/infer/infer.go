@@ -277,7 +277,10 @@ func (q *qaffine) conv(x *qtensor, s *scratch) (*qtensor, error) {
 const requantChunk = 256
 
 // requantPositions requantizes all channels of one sample's position
-// tile into the NCHW output payload.
+// tile into the NCHW output payload: the accumulator rows for positions
+// [p0, p1) feed the transposing vector kernel, which emits each channel's
+// contiguous plane run (tensor.RequantQ31Transpose pins the rounding
+// contract shared with the scalar requantize).
 func (q *qaffine) requantPositions(acc []int32, dst []uint8, sp, chunks, t int) {
 	i, ch := t/chunks, t%chunks
 	p0 := ch * requantChunk
@@ -289,16 +292,8 @@ func (q *qaffine) requantPositions(acc []int32, dst []uint8, sp, chunks, t int) 
 	if q.relu {
 		lo = q.out.zero
 	}
-	zy := int64(q.out.zero)
-	for oc := 0; oc < q.outC; oc++ {
-		corr, m0, rsh := q.corr[oc], q.m0[oc], q.rsh[oc]
-		src := acc[(i*sp+p0)*q.outC+oc:]
-		row := dst[(i*q.outC+oc)*sp+p0 : (i*q.outC+oc)*sp+p1]
-		for j := range row {
-			a := src[j*q.outC]
-			row[j] = clampU8(requantize(int64(a)+corr, m0, rsh)+zy, lo)
-		}
-	}
+	tensor.RequantQ31Transpose(dst[i*q.outC*sp+p0:], acc[(i*sp+p0)*q.outC:],
+		q.m0, q.rsh, q.corr, q.out.zero, lo, p1-p0, q.outC, q.outC, sp)
 }
 
 // linear runs the batch as one packed integer GEMM against the prepacked
@@ -321,14 +316,8 @@ func (q *qaffine) linear(x *qtensor, s *scratch) (*qtensor, error) {
 	if q.relu {
 		lo = q.out.zero
 	}
-	zy := int64(q.out.zero)
-	for i := 0; i < n; i++ {
-		src := acc[i*q.outC : (i+1)*q.outC]
-		dst := out.data[i*q.outC : (i+1)*q.outC]
-		for o, a := range src {
-			dst[o] = clampU8(requantize(int64(a)+q.corr[o], q.m0[o], q.rsh[o])+zy, lo)
-		}
-	}
+	tensor.RequantQ31Rows(out.data, acc, q.m0, q.rsh, q.corr, q.out.zero, lo,
+		n, q.outC, q.outC, q.outC)
 	return out, nil
 }
 

@@ -126,10 +126,10 @@ func lowerAffine(st *stage, in grid, cfg Config, nextID func() int) (qlayer, gri
 		sw := float64(in.scale) * float64(wscale[c])
 		q.m0[c], q.rsh[c] = lowerMultiplier(sw / float64(out.scale))
 		biasq := math.Round(float64(st.bias[c]) / sw)
-		if biasq > float64(accClamp) {
-			biasq = float64(accClamp)
-		} else if biasq < -float64(accClamp) {
-			biasq = -float64(accClamp)
+		if biasq > float64(accMax) {
+			biasq = float64(accMax)
+		} else if biasq < float64(accMin) {
+			biasq = float64(accMin)
 		}
 		q.corr[c] = int64(biasq) - int64(in.zero)*ksum
 	}

@@ -1,10 +1,18 @@
 package tensor
 
+import (
+	"fmt"
+	"runtime"
+)
+
 // Low-level fused kernels behind the GEMM routines. Every kernel has a
-// portable Go implementation here; on amd64 with AVX2+FMA the dispatch
-// variables are repointed at assembly versions during init (see
-// kernels_amd64.go). Dispatch is per-row-block, so the indirection cost is
-// negligible next to the O(n) work of each call.
+// portable Go implementation here; on amd64 with AVX2+FMA (see
+// kernels_amd64.go) and on arm64 with NEON (see kernels_arm64.go) the
+// dispatch variables are repointed at assembly versions during init.
+// Dispatch is per-row-block, so the indirection cost is negligible next
+// to the O(n) work of each call. The portable kernels are the cross-arch
+// reference: the integer and requant assembly must match them
+// bit-for-bit on both architectures.
 //
 // All kernels are deterministic: for a given input they produce the same
 // bits regardless of the worker count driving them, which is what keeps
@@ -42,6 +50,30 @@ func SIMDActive() bool { return simdOn }
 // feature set is reported even while dispatch is disabled via APT_NOSIMD
 // or SetSIMD(false).
 func SIMDFeatures() string { return simdFeatures }
+
+// KernelSummary describes the active kernel routing in one line for
+// diagnostic output (aptinspect, bench headers): architecture, feature
+// set, and which of the serving-path kernel families — packed GEMM,
+// the partial-panel edge kernel, and the Q31 requant epilogue — are on
+// assembly versus the portable Go reference.
+func KernelSummary() string {
+	if !simdOn {
+		reason := "APT_NOSIMD or SetSIMD(false)"
+		if simdFeatures == "" {
+			reason = "no SIMD kernels for " + runtime.GOARCH
+		}
+		return fmt.Sprintf("%s: portable Go reference kernels (%s)", runtime.GOARCH, reason)
+	}
+	edge := "portable edge"
+	if packedAsmEdge != nil {
+		edge = "masked-store edge"
+	}
+	requant := "portable requant"
+	if requantRowsAsm != nil && requantTransAsm != nil {
+		requant = "SIMD requant"
+	}
+	return fmt.Sprintf("%s: %s packed GEMM + %s + %s", runtime.GOARCH, simdFeatures, edge, requant)
+}
 
 // axpy4 computes dst[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j].
 // The b slices must be at least len(dst) long.
@@ -116,21 +148,66 @@ func f32Panel1Go(dst, a, panel []float32, k, aks int) {
 	copy(dst[:16], c[:])
 }
 
-// f32PanelEdgeGo handles the right-edge partial panel (nr < 16 valid
-// columns); always portable — the zero-padded panel tail would make the
-// 16-wide kernels write past dst.
-func f32PanelEdgeGo(dst, a, panel []float32, m, k, ars, aks, ldd, nr int) {
-	for i := 0; i < m; i++ {
-		var c [16]float32
-		ar := a[i*ars:]
+// f32Panel4x8Go is the portable 4×8 narrow-panel micro-kernel: the
+// register-blocked shape over 8-wide panels (one YMM of accumulators
+// per output row in the assembly), which keeps narrow-output products
+// — the first-layer weight gradient (n = kdim) and classifier heads —
+// off the scalar edge path. Same accumulation contract as f32Panel4Go.
+func f32Panel4x8Go(dst, a, panel []float32, m, k, ars, aks, ldd int) {
+	for i := 0; i+3 < m; i += 4 {
+		a0 := a[(i+0)*ars:]
+		a1 := a[(i+1)*ars:]
+		a2 := a[(i+2)*ars:]
+		a3 := a[(i+3)*ars:]
+		var c0, c1, c2, c3 [8]float32
 		for q := 0; q < k; q++ {
-			pq := panel[q*16 : q*16+16 : q*16+16]
-			v := ar[q*aks]
-			for j := 0; j < nr; j++ {
-				c[j] += v * pq[j]
+			pq := panel[q*8 : q*8+8 : q*8+8]
+			v0, v1, v2, v3 := a0[q*aks], a1[q*aks], a2[q*aks], a3[q*aks]
+			for j := 0; j < 8; j++ {
+				w := pq[j]
+				c0[j] += v0 * w
+				c1[j] += v1 * w
+				c2[j] += v2 * w
+				c3[j] += v3 * w
 			}
 		}
-		copy(dst[i*ldd:i*ldd+nr], c[:nr])
+		copy(dst[(i+0)*ldd:(i+0)*ldd+8], c0[:])
+		copy(dst[(i+1)*ldd:(i+1)*ldd+8], c1[:])
+		copy(dst[(i+2)*ldd:(i+2)*ldd+8], c2[:])
+		copy(dst[(i+3)*ldd:(i+3)*ldd+8], c3[:])
+	}
+}
+
+// f32Panel1x8Go is the portable one-row narrow-panel kernel (writes
+// dst[0:8]); same accumulation order as f32Panel4x8Go.
+func f32Panel1x8Go(dst, a, panel []float32, k, aks int) {
+	var c [8]float32
+	for q := 0; q < k; q++ {
+		pq := panel[q*8 : q*8+8 : q*8+8]
+		v := a[q*aks]
+		for j := 0; j < 8; j++ {
+			c[j] += v * pq[j]
+		}
+	}
+	copy(dst[:8], c[:])
+}
+
+// f32PanelEdgeGo handles the right-edge partial panel (nr < pw valid
+// columns of a pw-wide panel); always portable — the zero-padded panel
+// tail would make the full-width kernels write past dst.
+func f32PanelEdgeGo(dst, a, panel []float32, m, k, ars, aks, ldd, pw, nr int) {
+	for i := 0; i < m; i++ {
+		var cbuf [f32PanelCols]float32
+		c := cbuf[:nr]
+		ar := a[i*ars:]
+		for q := 0; q < k; q++ {
+			pq := panel[q*pw : q*pw+nr : q*pw+nr]
+			v := ar[q*aks]
+			for j, w := range pq {
+				c[j] += v * w
+			}
+		}
+		copy(dst[i*ldd:i*ldd+nr], c)
 	}
 }
 

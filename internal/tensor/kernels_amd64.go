@@ -39,10 +39,25 @@ func packedGEMMFast4AVX2(dst *int32, a *uint8, panel *int8, m, kq, lda, ldd int)
 func packedGEMMWide4AVX2(dst *int32, a *uint8, panel *int8, m, kq, lda, ldd int)
 
 //go:noescape
+func packedGEMMEdgeAVX2(dst *int32, a *uint8, panel *int8, m, kq, lda, ldd, nr int)
+
+//go:noescape
 func packedF32GEMM4x16FMA(dst, a, panel *float32, m, k, ars, aks, ldd int)
 
 //go:noescape
 func packedF32GEMM1x16FMA(dst, a, panel *float32, k, aks int)
+
+//go:noescape
+func packedF32GEMM4x8FMA(dst, a, panel *float32, m, k, ars, aks, ldd int)
+
+//go:noescape
+func packedF32GEMM1x8FMA(dst, a, panel *float32, k, aks int)
+
+//go:noescape
+func requantQ31RowsAVX2(dst *uint8, acc *int32, m0, rsh *int32, corr *int64, zp, lo, m, nc4, lda, ldd int)
+
+//go:noescape
+func requantQ31TransAVX2(dst *uint8, acc *int32, m0, rsh *int32, corr *int64, zp, lo, np8, nc4, lda, ldd int)
 
 // hasFMA reports whether AVX2+FMA kernels are usable on this CPU/OS.
 var hasFMA = detectFMA()
@@ -89,7 +104,10 @@ func applySIMDAmd64(on bool) {
 		axpy4, axpy1, dot = axpy4Go, axpy1Go, dotGo
 		packedAsmFast, packedAsmWide = nil, nil
 		packedAsmFast4, packedAsmWide4 = nil, nil
+		packedAsmEdge = nil
 		f32Panel4, f32Panel1 = f32Panel4Go, f32Panel1Go
+		f32Panel4w8, f32Panel1w8 = f32Panel4x8Go, f32Panel1x8Go
+		requantRowsAsm, requantTransAsm = nil, nil
 		return
 	}
 	axpy4 = axpy4Asm
@@ -99,8 +117,33 @@ func applySIMDAmd64(on bool) {
 	packedAsmWide = packedWideAsm
 	packedAsmFast4 = packedFast4Asm
 	packedAsmWide4 = packedWide4Asm
+	packedAsmEdge = packedEdgeAsm
 	f32Panel4 = f32Panel4Asm
 	f32Panel1 = f32Panel1Asm
+	f32Panel4w8 = f32Panel4w8Asm
+	f32Panel1w8 = f32Panel1w8Asm
+	requantRowsAsm = requantRowsAVX2Wrap
+	requantTransAsm = requantTransAVX2Wrap
+}
+
+func requantRowsAVX2Wrap(dst []uint8, acc []int32, m0, rsh []int32, corr []int64, zp, lo int32, m, nc4, lda, ldd int) {
+	// Bounds asserted by RequantQ31Rows; re-pin the extremes the kernel
+	// touches (last row's last group and every per-channel parameter).
+	_ = acc[(m-1)*lda+nc4-1]
+	_ = dst[(m-1)*ldd+nc4-1]
+	_ = m0[nc4-1]
+	_ = rsh[nc4-1]
+	_ = corr[nc4-1]
+	requantQ31RowsAVX2(&dst[0], &acc[0], &m0[0], &rsh[0], &corr[0], int(zp), int(lo), m, nc4, lda, ldd)
+}
+
+func requantTransAVX2Wrap(dst []uint8, acc []int32, m0, rsh []int32, corr []int64, zp, lo int32, np8, nc4, lda, ldd int) {
+	_ = acc[(np8-1)*lda+nc4-1]
+	_ = dst[(nc4-1)*ldd+np8-1]
+	_ = m0[nc4-1]
+	_ = rsh[nc4-1]
+	_ = corr[nc4-1]
+	requantQ31TransAVX2(&dst[0], &acc[0], &m0[0], &rsh[0], &corr[0], int(zp), int(lo), np8, nc4, lda, ldd)
 }
 
 func axpy4Asm(dst, b0, b1, b2, b3 []float32, a0, a1, a2, a3 float32) {
@@ -164,6 +207,15 @@ func packedWide4Asm(dst []int32, a []uint8, panel []int8, m, kq, lda, ldd int) {
 	packedGEMMWide4AVX2(&dst[0], &a[0], &panel[0], m, kq, lda, ldd)
 }
 
+func packedEdgeAsm(dst []int32, a []uint8, panel []int8, m, kq, lda, ldd, nr int) {
+	// nr ∈ [1, 7] (checked by gemmPackedBlock's panel split); the masked
+	// store writes exactly nr int32 per row.
+	_ = a[(m-1)*lda+4*kq-1]
+	_ = dst[(m-1)*ldd+nr-1]
+	_ = panel[kq*32-1]
+	packedGEMMEdgeAVX2(&dst[0], &a[0], &panel[0], m, kq, lda, ldd, nr)
+}
+
 func f32Panel4Asm(dst, a, panel []float32, m, k, ars, aks, ldd int) {
 	// m is a positive multiple of 4; each row reads k strided taps of a
 	// and writes 16 consecutive dst floats.
@@ -178,4 +230,18 @@ func f32Panel1Asm(dst, a, panel []float32, k, aks int) {
 	_ = dst[15]
 	_ = panel[k*16-1]
 	packedF32GEMM1x16FMA(&dst[0], &a[0], &panel[0], k, aks)
+}
+
+func f32Panel4w8Asm(dst, a, panel []float32, m, k, ars, aks, ldd int) {
+	_ = a[(m-1)*ars+(k-1)*aks]
+	_ = dst[(m-1)*ldd+7]
+	_ = panel[k*8-1]
+	packedF32GEMM4x8FMA(&dst[0], &a[0], &panel[0], m, k, ars, aks, ldd)
+}
+
+func f32Panel1w8Asm(dst, a, panel []float32, k, aks int) {
+	_ = a[(k-1)*aks]
+	_ = dst[7]
+	_ = panel[k*8-1]
+	packedF32GEMM1x8FMA(&dst[0], &a[0], &panel[0], k, aks)
 }

@@ -319,3 +319,89 @@ kloop:
 	VMOVUPS Y1, 32(DI)
 	VZEROUPPER
 	RET
+
+// func packedF32GEMM4x8FMA(dst, a, panel *float32, m, k, ars, aks, ldd int)
+//
+// Narrow-panel variant of packedF32GEMM4x16FMA: 8-column panels, one
+// YMM accumulator per row (Y0–Y3), each packed panel row loaded once
+// and multiplied against all four rows. Same operand addressing and
+// accumulation order contract as the 16-wide kernel.
+TEXT ·packedF32GEMM4x8FMA(SB), NOSPLIT, $0-64
+	MOVQ dst+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ panel+16(FP), DX
+	MOVQ m+24(FP), R8
+	SHRQ $2, R8               // four-row groups
+	MOVQ k+32(FP), R9
+	MOVQ ars+40(FP), R10
+	SHLQ $2, R10              // row stride in bytes
+	MOVQ aks+48(FP), R14
+	SHLQ $2, R14              // k stride in bytes
+	MOVQ ldd+56(FP), R11
+	SHLQ $2, R11              // dst row stride in bytes
+	LEAQ (R10)(R10*2), R13    // 3·ars bytes
+	LEAQ (R11)(R11*2), R15    // 3·ldd bytes
+
+grouploop:
+	TESTQ  R8, R8
+	JZ     done
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	MOVQ   SI, R12            // a cursor (row 0; rows 1–3 via ars offsets)
+	MOVQ   DX, BX             // panel cursor
+	MOVQ   R9, CX
+
+kloop:
+	VMOVUPS      (BX), Y8     // panel row, loaded once per 4 rows
+	VBROADCASTSS (R12), Y10
+	VFMADD231PS  Y8, Y10, Y0
+	VBROADCASTSS (R12)(R10*1), Y10
+	VFMADD231PS  Y8, Y10, Y1
+	VBROADCASTSS (R12)(R10*2), Y10
+	VFMADD231PS  Y8, Y10, Y2
+	VBROADCASTSS (R12)(R13*1), Y10
+	VFMADD231PS  Y8, Y10, Y3
+	ADDQ R14, R12
+	ADDQ $32, BX
+	DECQ CX
+	JNZ  kloop
+
+	VMOVUPS Y0, (DI)
+	VMOVUPS Y1, (DI)(R11*1)
+	VMOVUPS Y2, (DI)(R11*2)
+	VMOVUPS Y3, (DI)(R15*1)
+	LEAQ    (SI)(R10*4), SI
+	LEAQ    (DI)(R11*4), DI
+	DECQ    R8
+	JMP     grouploop
+
+done:
+	VZEROUPPER
+	RET
+
+// func packedF32GEMM1x8FMA(dst, a, panel *float32, k, aks int)
+//
+// One-row narrow-panel remainder kernel: 8 accumulators in Y0, panel
+// rows consumed as FMA memory operands, dst[0:8] written once.
+TEXT ·packedF32GEMM1x8FMA(SB), NOSPLIT, $0-40
+	MOVQ dst+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ panel+16(FP), BX
+	MOVQ k+24(FP), CX
+	MOVQ aks+32(FP), R14
+	SHLQ $2, R14
+	VXORPS Y0, Y0, Y0
+
+kloop:
+	VBROADCASTSS (SI), Y10
+	VFMADD231PS  (BX), Y10, Y0
+	ADDQ R14, SI
+	ADDQ $32, BX
+	DECQ CX
+	JNZ  kloop
+
+	VMOVUPS Y0, (DI)
+	VZEROUPPER
+	RET

@@ -342,3 +342,80 @@ quad:
 done:
 	VZEROUPPER
 	RET
+
+// edgeMask holds eight set dwords followed by eight clear ones; loading
+// 32 bytes at offset (8−nr)·4 yields a VPMASKMOVD mask whose first nr
+// lanes are set.
+DATA edgeMask<>+0(SB)/8, $0xffffffffffffffff
+DATA edgeMask<>+8(SB)/8, $0xffffffffffffffff
+DATA edgeMask<>+16(SB)/8, $0xffffffffffffffff
+DATA edgeMask<>+24(SB)/8, $0xffffffffffffffff
+DATA edgeMask<>+32(SB)/8, $0x0000000000000000
+DATA edgeMask<>+40(SB)/8, $0x0000000000000000
+DATA edgeMask<>+48(SB)/8, $0x0000000000000000
+DATA edgeMask<>+56(SB)/8, $0x0000000000000000
+GLOBL edgeMask<>(SB), RODATA|NOPTR, $64
+
+// func packedGEMMEdgeAVX2(dst *int32, a *uint8, panel *int8, m, kq, lda, ldd, nr int)
+//
+// Partial-panel kernel (nr < 8 valid columns): the widening exact
+// arithmetic of packedGEMMWideAVX2 — correct for any weights, so one
+// kernel serves saturating and non-saturating matrices — with a
+// VPMASKMOVD store that writes exactly nr int32 lanes. The panel loads
+// stay full-width (panel storage is always padded to 8 columns); only
+// the store is masked, because dst may end at column nr.
+TEXT ·packedGEMMEdgeAVX2(SB), NOSPLIT, $0-64
+	MOVQ dst+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ panel+16(FP), DX
+	MOVQ m+24(FP), R8
+	MOVQ kq+32(FP), R9
+	MOVQ lda+40(FP), R10
+	MOVQ ldd+48(FP), R11
+	SHLQ $2, R11              // dst row stride in bytes
+	MOVQ nr+56(FP), AX
+	MOVQ $8, BX
+	SUBQ AX, BX
+	SHLQ $2, BX               // (8−nr)·4
+	LEAQ edgeMask<>(SB), AX
+	VMOVDQU (AX)(BX*1), Y6    // store mask: lanes 0..nr−1 set
+
+rowloop:
+	TESTQ R8, R8
+	JZ    done
+	VPXOR Y0, Y0, Y0          // pair-sums, columns 0–3 interleaved
+	VPXOR Y1, Y1, Y1          // pair-sums, columns 4–7 interleaved
+	MOVQ  SI, R12
+	MOVQ  DX, BX
+	MOVQ  R9, CX
+
+quad:
+	TESTQ CX, CX
+	JZ    rowend
+	VPBROADCASTD (R12), X4
+	VPMOVZXBW    X4, Y4       // activations widened: [a0..a3] × 4, int16
+	VPMOVSXBW    (BX), Y5     // panel low half: cols 0–3, int16
+	VPMADDWD     Y4, Y5, Y5   // a0·b0+a1·b1, a2·b2+a3·b3 per column
+	VPADDD       Y5, Y0, Y0
+	VPMOVSXBW    16(BX), Y5   // panel high half: cols 4–7
+	VPMADDWD     Y4, Y5, Y5
+	VPADDD       Y5, Y1, Y1
+	ADDQ $4, R12
+	ADDQ $32, BX
+	DECQ CX
+	JMP  quad
+
+rowend:
+	// Fold adjacent pair-sums and restore column order, then store only
+	// the valid columns.
+	VPHADDD    Y1, Y0, Y0
+	VPERMQ     $0xD8, Y0, Y0
+	VPMASKMOVD Y0, Y6, (DI)
+	ADDQ       R11, DI
+	ADDQ       R10, SI
+	DECQ       R8
+	JMP        rowloop
+
+done:
+	VZEROUPPER
+	RET

@@ -351,8 +351,25 @@ func im2colU8Patch(dst, src []uint8, g ConvGeom, pad uint8, i int) {
 						}
 					}
 				}
-				for ox := 0; ox < xlo; ox++ {
-					edge(ox)
+				// Borders of the ubiquitous 3×3/stride-1/pad-1 conv (one
+				// padded tap on each side, ow == InW): written directly,
+				// skipping the per-tap bounds checks of the generic edge
+				// closure — the borders are a fixed share of every row, so
+				// the closure's per-byte compare-and-branch shows up in
+				// serving profiles.
+				fast3 := g.KW == 3 && g.Stride == 1 && g.Pad == 1 && xlo == 1 && xhi == ow-2
+				if fast3 {
+					rows[p] = pad
+					rows[p+1] = srow[0]
+					rows[p+2] = srow[1]
+					dr := (ow-1)*kdim + p
+					rows[dr] = srow[g.InW-2]
+					rows[dr+1] = srow[g.InW-1]
+					rows[dr+2] = pad
+				} else {
+					for ox := 0; ox < xlo; ox++ {
+						edge(ox)
+					}
 				}
 				// Interior: incremented indices only — no per-iteration
 				// slicing, one multiply-free sliding window.
@@ -390,8 +407,10 @@ func im2colU8Patch(dst, src []uint8, g ConvGeom, pad uint8, i int) {
 						sx += g.Stride
 					}
 				}
-				for ox := xhi + 1; ox < ow; ox++ {
-					edge(ox)
+				if !fast3 {
+					for ox := xhi + 1; ox < ow; ox++ {
+						edge(ox)
+					}
 				}
 				p += g.KW
 			}

@@ -24,11 +24,12 @@ import "fmt"
 // multiply-add: sat16(a[2s]·b[2s] + a[2s+1]·b[2s+1]). With a ∈ [0, 255]
 // that saturates iff some even-pair weight magnitude sum exceeds 128
 // (255·128 = 32640 ≤ 32767 < 32895 = 255·129, and −255·128 ≥ −32768).
-// Pack time detects the hazard per matrix; saturating matrices are routed
-// to an exact widening kernel (u8/s8 → int16, VPMADDWD into int32) and
-// are never silently wrong. The portable Go kernel accumulates straight
-// into int32 and is exact for any weights, so SIMD and portable paths are
-// bit-identical in all cases.
+// Pack time detects the hazard per 8-column panel; saturating panels are
+// routed to an exact widening kernel (u8/s8 → int16, VPMADDWD into int32)
+// and are never silently wrong, while the matrix's clean panels keep the
+// fast kernel. The portable Go kernel accumulates straight into int32 and
+// is exact for any weights, so SIMD and portable paths are bit-identical
+// in all cases.
 
 // PackedI8 is an int8 matrix repacked into column panels for
 // MatMulU8I8PackedInto. A packed matrix is immutable: build it once (at
@@ -38,7 +39,8 @@ type PackedI8 struct {
 	kq     int // k quads: ceil(k/4)
 	panels int // column panels: ceil(n/8)
 	data   []int8
-	sat    bool // some even k-pair can saturate the int16 fast kernel
+	sat    bool   // some even k-pair can saturate the int16 fast kernel
+	satp   []bool // the same hazard, resolved per 8-column panel
 }
 
 // Rows returns the packed matrix's k (inner) dimension.
@@ -54,8 +56,10 @@ func (p *PackedI8) PaddedK() int { return 4 * p.kq }
 
 // Saturating reports whether some adjacent even-aligned k-pair of weights
 // could overflow the saturating int16 SIMD kernel against a 255
-// activation (|w₀|+|w₁| > 128). Such matrices run the exact widening
-// kernel instead; results are identical either way.
+// activation (|w₀|+|w₁| > 128). The hazard is tracked per 8-column panel
+// — only the affected panels run the exact widening kernel, the rest keep
+// the fast one — and this reports the OR over all panels. Results are
+// identical either way.
 func (p *PackedI8) Saturating() bool { return p.sat }
 
 // SizeBytes returns the packed storage footprint.
@@ -114,14 +118,23 @@ func packI8(k, n int, at func(kk, j int) int8) *PackedI8 {
 	}
 	// Saturation hazard scan over even-aligned adjacent k-pairs — exactly
 	// the pairs VPMADDUBSW fuses (quads start at multiples of 4, so pair
-	// boundaries never straddle a quad).
-	for j := 0; j < n && !p.sat; j++ {
+	// boundaries never straddle a quad). The hazard is resolved per
+	// 8-column panel, not per matrix: the GEMM picks the fast or the exact
+	// widening kernel panel by panel, so one hot output channel does not
+	// drag a whole layer onto the slower kernel.
+	p.satp = make([]bool, p.panels)
+	for j := 0; j < n; j++ {
+		pi := j / 8
+		if p.satp[pi] {
+			continue
+		}
 		for s := 0; 2*s < k; s++ {
 			sum := absI8(at(2*s, j))
 			if 2*s+1 < k {
 				sum += absI8(at(2*s+1, j))
 			}
 			if sum > 128 {
+				p.satp[pi] = true
 				p.sat = true
 				break
 			}
@@ -148,6 +161,11 @@ var (
 	packedAsmWide  func(dst []int32, a []uint8, panel []int8, m, kq, lda, ldd int)
 	packedAsmFast4 func(dst []int32, a []uint8, panel []int8, m, kq, lda, ldd int)
 	packedAsmWide4 func(dst []int32, a []uint8, panel []int8, m, kq, lda, ldd int)
+	// packedAsmEdge covers the final partial panel (nr < 8 valid
+	// columns): exact widening arithmetic regardless of the matrix's
+	// saturation hazard, masked stores so lanes past nr are never
+	// written.
+	packedAsmEdge func(dst []int32, a []uint8, panel []int8, m, kq, lda, ldd, nr int)
 )
 
 // MatMulU8I8PackedInto computes dst = a·b where a is a uint8 (m, k)
@@ -186,24 +204,28 @@ func MatMulU8I8PackedInto(dst []int32, a []uint8, b *PackedI8, m, lda int) error
 }
 
 // gemmPackedBlock computes one (row block × panel) output tile. Kernel
-// selection is per matrix — saturating weight panels take the exact
+// selection is per panel — saturating weight panels take the exact
 // widening kernels, everything else the fast VPMADDUBSW kernels — and
 // per row count: groups of four rows run the register-blocked 4-row
 // micro-kernel (one panel-quad load per four rows), the remainder rows
 // the one-row kernel.
 func gemmPackedBlock(dst []int32, a []uint8, b *PackedI8, m, lda, t int) {
+	ib, pi := t/b.panels, t%b.panels
 	asm1, asm4 := packedAsmFast, packedAsmFast4
-	if b.sat {
+	if b.satp[pi] {
 		asm1, asm4 = packedAsmWide, packedAsmWide4
 	}
-	ib, pi := t/b.panels, t%b.panels
 	i0 := ib * gemmRowBlock
 	mr := min(gemmRowBlock, m-i0)
 	j0 := pi * 8
 	nr := min(8, b.n-j0)
 	panel := b.data[pi*b.kq*32 : (pi+1)*b.kq*32]
 	if nr < 8 {
-		packedPanelGo(dst[i0*b.n+j0:], a[i0*lda:], panel, mr, b.kq, lda, b.n, nr)
+		if packedAsmEdge != nil {
+			packedAsmEdge(dst[i0*b.n+j0:], a[i0*lda:], panel, mr, b.kq, lda, b.n, nr)
+		} else {
+			packedPanelGo(dst[i0*b.n+j0:], a[i0*lda:], panel, mr, b.kq, lda, b.n, nr)
+		}
 		return
 	}
 	m4 := mr &^ 3

@@ -367,6 +367,10 @@ func TestIm2ColBatchU8PatchesMatchesColumnMajor(t *testing.T) {
 		// and let the fast path read past the source row (regression).
 		{InC: 1, InH: 2, InW: 2, KH: 1, KW: 3, Stride: 2, Pad: 0},
 		{InC: 1, InH: 4, InW: 3, KH: 2, KW: 6, Stride: 1, Pad: 2},
+		// Minimal 3×3/stride-1/pad-1 width: the specialized border path
+		// fires with an empty interior (xlo=1, xhi=ow−2=0), so the two
+		// border columns are the whole row.
+		{InC: 2, InH: 3, InW: 2, KH: 3, KW: 3, Stride: 1, Pad: 1},
 	}
 	rng := NewRNG(54)
 	const n = 3

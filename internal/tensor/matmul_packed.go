@@ -7,15 +7,17 @@ import (
 
 // Packed-operand float GEMM: the register-blocked shape behind the
 // training spine's large products. The B matrix of dst = A·B is
-// reorganized into column panels of f32PanelCols consecutive columns —
-// k rows of 16 floats each, zero-padded at the right edge — so the inner
-// kernel streams one contiguous panel row per k tap instead of striding
-// B. The micro-kernel is 4×16: four output rows' accumulators (eight YMM
-// registers on amd64) stay in registers across the whole k loop, each
-// loaded B panel row is multiplied against all four rows, and dst is
-// touched exactly once per tile. That is the BLIS/gemmlowp shape; the
-// AXPY kernels it replaces reload and restore the dst row every four k
-// taps and stream B once per output row.
+// reorganized into column panels of pw consecutive columns — k rows of
+// pw floats each, zero-padded at the right edge — so the inner kernel
+// streams one contiguous panel row per k tap instead of striding B.
+// The panel width is 16 columns (two YMM registers of accumulators per
+// output row) by default, dropping to 8 for narrow matrices so small-n
+// products still fill whole panels. The micro-kernel is 4×pw: four
+// output rows' accumulators stay in registers across the whole k loop,
+// each loaded B panel row is multiplied against all four rows, and dst
+// is touched exactly once per tile. That is the BLIS/gemmlowp shape;
+// the AXPY kernels it replaces reload and restore the dst row every
+// four k taps and stream B once per output row.
 //
 // Packing is cheap relative to the multiply when there are enough output
 // rows to amortize it: the pack streams k·n floats once while the GEMM
@@ -33,9 +35,23 @@ import (
 // accumulator per output element, so they agree to float32 rounding —
 // the same contract the AXPY/dot kernels already have.
 
-// f32PanelCols is the packed panel width: 16 columns = two YMM registers
-// of float32 accumulators per output row.
+// f32PanelCols is the default packed panel width: 16 columns = two YMM
+// registers of float32 accumulators per output row.
 const f32PanelCols = 16
+
+// f32PanelColsNarrow is the narrow panel width, one YMM register of
+// accumulators per output row. Products too narrow to fill 16-wide
+// panels (n < f32NarrowPanelMaxN) pack 8-wide instead, so shapes like
+// the first-layer weight gradient (n = kdim = 27) or a classifier head
+// still run the register-blocked kernels over mostly-full panels
+// rather than pushing most of their columns through the scalar edge
+// kernel.
+const f32PanelColsNarrow = 8
+
+// f32NarrowPanelMaxN is the column count below which reset picks the
+// narrow panel width: under 4 full wide panels, the partial-panel
+// fraction of a 16-wide layout is large enough that 8-wide panels win.
+const f32NarrowPanelMaxN = 4 * f32PanelCols
 
 // f32PackedRowBlock bounds the rows of one packed-GEMM task. Taller than
 // the AXPY path's gemmRowBlock on purpose: a task streams its B panel
@@ -52,7 +68,8 @@ const f32PackedRowBlock = 32
 // be repacked while a GEMM is reading it.
 type PackedF32 struct {
 	k, n   int
-	panels int // column panels: ceil(n/16)
+	pw     int // panel width: f32PanelCols, or f32PanelColsNarrow for small n
+	panels int // column panels: ceil(n/pw)
 	data   []float32
 }
 
@@ -61,6 +78,11 @@ func (p *PackedF32) Rows() int { return p.k }
 
 // Cols returns the packed matrix's n (output) dimension.
 func (p *PackedF32) Cols() int { return p.n }
+
+// PanelWidth returns the column-panel width the pack chose (16, or 8
+// for narrow matrices), which selects the micro-kernel pair the GEMM
+// runs.
+func (p *PackedF32) PanelWidth() int { return p.pw }
 
 // SizeBytes returns the packed storage footprint.
 func (p *PackedF32) SizeBytes() int { return 4 * len(p.data) }
@@ -131,8 +153,12 @@ func checkPackF32(op string, lenB, k, n int) error {
 
 func (p *PackedF32) reset(k, n int) {
 	p.k, p.n = k, n
-	p.panels = (n + f32PanelCols - 1) / f32PanelCols
-	need := p.panels * k * f32PanelCols
+	p.pw = f32PanelCols
+	if n < f32NarrowPanelMaxN {
+		p.pw = f32PanelColsNarrow
+	}
+	p.panels = (n + p.pw - 1) / p.pw
+	need := p.panels * k * p.pw
 	if cap(p.data) < need {
 		p.data = make([]float32, need)
 	}
@@ -140,21 +166,22 @@ func (p *PackedF32) reset(k, n int) {
 }
 
 // packPanelB fills panel pi from a row-major (k, n) source: contiguous
-// 16-float copies per k row, the rightmost panel zero-padded.
+// pw-float copies per k row, the rightmost panel zero-padded.
 func (p *PackedF32) packPanelB(b []float32, pi int) {
-	j0 := pi * f32PanelCols
-	nr := min(f32PanelCols, p.n-j0)
-	dst := p.data[pi*p.k*f32PanelCols : (pi+1)*p.k*f32PanelCols]
-	if nr == f32PanelCols {
+	pw := p.pw
+	j0 := pi * pw
+	nr := min(pw, p.n-j0)
+	dst := p.data[pi*p.k*pw : (pi+1)*p.k*pw]
+	if nr == pw {
 		for q := 0; q < p.k; q++ {
-			copy(dst[q*f32PanelCols:q*f32PanelCols+f32PanelCols], b[q*p.n+j0:q*p.n+j0+f32PanelCols])
+			copy(dst[q*pw:q*pw+pw], b[q*p.n+j0:q*p.n+j0+pw])
 		}
 		return
 	}
 	for q := 0; q < p.k; q++ {
-		seg := dst[q*f32PanelCols : (q+1)*f32PanelCols]
+		seg := dst[q*pw : (q+1)*pw]
 		copy(seg, b[q*p.n+j0:q*p.n+j0+nr])
-		for j := nr; j < f32PanelCols; j++ {
+		for j := nr; j < pw; j++ {
 			seg[j] = 0
 		}
 	}
@@ -162,12 +189,13 @@ func (p *PackedF32) packPanelB(b []float32, pi int) {
 
 // packPanelBT fills panel pi from the transposed (n, k) source: each
 // source row is one panel column, read contiguously and scattered at
-// stride 16.
+// stride pw.
 func (p *PackedF32) packPanelBT(bt []float32, pi int) {
-	j0 := pi * f32PanelCols
-	nr := min(f32PanelCols, p.n-j0)
-	dst := p.data[pi*p.k*f32PanelCols : (pi+1)*p.k*f32PanelCols]
-	if nr < f32PanelCols {
+	pw := p.pw
+	j0 := pi * pw
+	nr := min(pw, p.n-j0)
+	dst := p.data[pi*p.k*pw : (pi+1)*p.k*pw]
+	if nr < pw {
 		for i := range dst {
 			dst[i] = 0
 		}
@@ -175,19 +203,21 @@ func (p *PackedF32) packPanelBT(bt []float32, pi int) {
 	for jj := 0; jj < nr; jj++ {
 		src := bt[(j0+jj)*p.k : (j0+jj+1)*p.k]
 		for q, v := range src {
-			dst[q*f32PanelCols+jj] = v
+			dst[q*pw+jj] = v
 		}
 	}
 }
 
 // Micro-kernel dispatch (see kernels.go for the portable definitions and
-// kernels_amd64.go for the FMA assembly repointing). Both kernels
-// compute full 16-column panels; a addresses row r, tap q at
+// kernels_amd64.go for the FMA assembly repointing). Each kernel pair
+// computes full panels of one width; a addresses row r, tap q at
 // a[r*ars + q*aks], which lets one kernel serve the normal (ars=lda,
 // aks=1) and transposed-A (ars=1, aks=lda) orientations.
 var (
-	f32Panel4 = f32Panel4Go // 4 rows (dst rows at ldd stride)
-	f32Panel1 = f32Panel1Go // 1 row (writes dst[0:16])
+	f32Panel4   = f32Panel4Go   // 4 rows × 16 cols (dst rows at ldd stride)
+	f32Panel1   = f32Panel1Go   // 1 row × 16 cols (writes dst[0:16])
+	f32Panel4w8 = f32Panel4x8Go // 4 rows × 8 cols (narrow panels)
+	f32Panel1w8 = f32Panel1x8Go // 1 row × 8 cols (writes dst[0:8])
 )
 
 // MatMulF32PackedInto computes dst = a·b where a is a float32 (m, k)
@@ -249,26 +279,31 @@ func matMulF32PackedDriver(dst, a []float32, b *PackedF32, m, ars, aks int) {
 }
 
 // f32PackedTile computes one (row block × panel) output tile: groups of
-// four rows through the register-blocked 4×16 kernel, remainder rows
-// through the one-row kernel, partial right-edge panels through the
-// portable edge kernel.
+// four rows through the register-blocked 4-row kernel of the pack's
+// panel width, remainder rows through the matching one-row kernel,
+// partial right-edge panels through the portable edge kernel.
 func f32PackedTile(dst, a []float32, b *PackedF32, m, ars, aks, t int) {
 	ib, pi := t/b.panels, t%b.panels
 	i0 := ib * f32PackedRowBlock
 	mr := min(f32PackedRowBlock, m-i0)
-	j0 := pi * f32PanelCols
-	nr := min(f32PanelCols, b.n-j0)
-	panel := b.data[pi*b.k*f32PanelCols : (pi+1)*b.k*f32PanelCols]
-	if nr < f32PanelCols {
-		f32PanelEdgeGo(dst[i0*b.n+j0:], a[i0*ars:], panel, mr, b.k, ars, aks, b.n, nr)
+	pw := b.pw
+	j0 := pi * pw
+	nr := min(pw, b.n-j0)
+	panel := b.data[pi*b.k*pw : (pi+1)*b.k*pw]
+	if nr < pw {
+		f32PanelEdgeGo(dst[i0*b.n+j0:], a[i0*ars:], panel, mr, b.k, ars, aks, b.n, pw, nr)
 		return
+	}
+	kern4, kern1 := f32Panel4, f32Panel1
+	if pw == f32PanelColsNarrow {
+		kern4, kern1 = f32Panel4w8, f32Panel1w8
 	}
 	m4 := mr &^ 3
 	if m4 > 0 {
-		f32Panel4(dst[i0*b.n+j0:], a[i0*ars:], panel, m4, b.k, ars, aks, b.n)
+		kern4(dst[i0*b.n+j0:], a[i0*ars:], panel, m4, b.k, ars, aks, b.n)
 	}
 	for i := m4; i < mr; i++ {
-		f32Panel1(dst[(i0+i)*b.n+j0:], a[(i0+i)*ars:], panel, b.k, aks)
+		kern1(dst[(i0+i)*b.n+j0:], a[(i0+i)*ars:], panel, b.k, aks)
 	}
 }
 
@@ -287,13 +322,14 @@ var f32PackPool = sync.Pool{New: func() any { return new(PackedF32) }}
 const f32PackMinM = 8
 
 // PackWorthF32 reports whether the routed GEMMs should take the packed
-// path for an (m, k, n) product. Narrow-n products keep the direct
-// kernels for two reasons: the right-edge partial panel runs a scalar
-// kernel, so its cost fraction grows as n shrinks (at n < 4·panelCols
-// it can dominate), and the dot/AXPY paths are strongest exactly there
-// (the conv dW product, n = kdim, is a row of long contiguous inner
-// products). Tiny-k products skip packing because the per-panel pack
-// setup is not amortized.
+// path for an (m, k, n) product. Products narrower than one narrow
+// panel keep the direct kernels: below 8 columns every panel is a
+// partial edge, so the packed path degenerates to the scalar edge
+// kernel plus pack overhead, while the dot/AXPY paths are strongest
+// exactly there. From 8 columns up the pack picks 8-wide panels (see
+// reset), which keeps shapes like the first-layer weight gradient
+// (n = kdim) register-blocked. Tiny-k products skip packing because
+// the per-panel pack setup is not amortized.
 func PackWorthF32(m, k, n int) bool {
-	return m >= f32PackMinM && n >= 4*f32PanelCols && k >= 4
+	return m >= f32PackMinM && n >= f32PanelColsNarrow && k >= 4
 }

@@ -49,65 +49,70 @@ func f32Close(t *testing.T, label string, got, want []float32, k int) {
 }
 
 func TestPackF32PanelsLayoutAndErrors(t *testing.T) {
-	// (k=3, n=18): one full panel plus a 2-column edge panel.
-	k, n := 3, 18
-	b := make([]float32, k*n)
-	for i := range b {
-		b[i] = float32(i)
+	// Narrow (n < 64) matrices pack 8-wide, wide ones 16-wide; both
+	// layouts share the same structure: panel pi, k-row q holds
+	// b[q][pi·pw .. pi·pw+pw−1] contiguously, the rightmost panel
+	// zero-padded.
+	cases := []struct{ k, n, pw, panels int }{
+		{3, 18, 8, 3},  // narrow: two full 8-panels + 2-column edge
+		{3, 66, 16, 5}, // wide: four full 16-panels + 2-column edge
 	}
-	pb, err := PackF32PanelsB(b, k, n)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if pb.Rows() != k || pb.Cols() != n || pb.panels != 2 {
-		t.Fatalf("pack geometry: rows %d cols %d panels %d", pb.Rows(), pb.Cols(), pb.panels)
-	}
-	if pb.SizeBytes() != 4*2*k*16 {
-		t.Fatalf("SizeBytes = %d, want %d", pb.SizeBytes(), 4*2*k*16)
-	}
-	// Panel 0, k-row q holds b[q][0..15] contiguously.
-	for q := 0; q < k; q++ {
-		for j := 0; j < 16; j++ {
-			if pb.data[q*16+j] != b[q*n+j] {
-				t.Fatalf("panel0[%d][%d] = %g, want %g", q, j, pb.data[q*16+j], b[q*n+j])
+	for _, tc := range cases {
+		b := make([]float32, tc.k*tc.n)
+		for i := range b {
+			b[i] = float32(i + 1)
+		}
+		pb, err := PackF32PanelsB(b, tc.k, tc.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pb.Rows() != tc.k || pb.Cols() != tc.n || pb.PanelWidth() != tc.pw || pb.panels != tc.panels {
+			t.Fatalf("n=%d pack geometry: rows %d cols %d pw %d panels %d, want (%d,%d,%d,%d)",
+				tc.n, pb.Rows(), pb.Cols(), pb.PanelWidth(), pb.panels, tc.k, tc.n, tc.pw, tc.panels)
+		}
+		if pb.SizeBytes() != 4*tc.panels*tc.k*tc.pw {
+			t.Fatalf("n=%d SizeBytes = %d, want %d", tc.n, pb.SizeBytes(), 4*tc.panels*tc.k*tc.pw)
+		}
+		pw := tc.pw
+		for pi := 0; pi < tc.panels; pi++ {
+			panel := pb.data[pi*tc.k*pw : (pi+1)*tc.k*pw]
+			for q := 0; q < tc.k; q++ {
+				for j := 0; j < pw; j++ {
+					want := float32(0)
+					if col := pi*pw + j; col < tc.n {
+						want = b[q*tc.n+col]
+					}
+					if panel[q*pw+j] != want {
+						t.Fatalf("n=%d panel%d[%d][%d] = %g, want %g",
+							tc.n, pi, q, j, panel[q*pw+j], want)
+					}
+				}
 			}
 		}
-	}
-	// Edge panel: two valid columns then zero padding.
-	edge := pb.data[k*16:]
-	for q := 0; q < k; q++ {
-		if edge[q*16] != b[q*n+16] || edge[q*16+1] != b[q*n+17] {
-			t.Fatalf("edge panel row %d = [%g %g], want [%g %g]",
-				q, edge[q*16], edge[q*16+1], b[q*n+16], b[q*n+17])
+
+		// The transposed form packs identically.
+		bt := make([]float32, tc.n*tc.k)
+		for j := 0; j < tc.n; j++ {
+			for p := 0; p < tc.k; p++ {
+				bt[j*tc.k+p] = b[p*tc.n+j]
+			}
 		}
-		for j := 2; j < 16; j++ {
-			if edge[q*16+j] != 0 {
-				t.Fatalf("edge padding [%d][%d] = %g, want 0", q, j, edge[q*16+j])
+		pb2, err := PackF32PanelsBT(bt, tc.k, tc.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range pb.data {
+			if pb.data[i] != pb2.data[i] {
+				t.Fatalf("n=%d: PackF32PanelsB and PackF32PanelsBT disagree at %d", tc.n, i)
 			}
 		}
 	}
 
-	// The transposed form packs identically.
-	bt := make([]float32, n*k)
-	for j := 0; j < n; j++ {
-		for p := 0; p < k; p++ {
-			bt[j*k+p] = b[p*n+j]
-		}
-	}
-	pb2, err := PackF32PanelsBT(bt, k, n)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for i := range pb.data {
-		if pb.data[i] != pb2.data[i] {
-			t.Fatalf("PackF32PanelsB and PackF32PanelsBT disagree at %d", i)
-		}
-	}
-
-	if _, err := PackF32PanelsB(b[:4], k, n); err == nil {
+	b := make([]float32, 3*18)
+	if _, err := PackF32PanelsB(b[:4], 3, 18); err == nil {
 		t.Error("short operand did not error")
 	}
-	if _, err := PackF32PanelsB(b, 0, n); err == nil {
+	if _, err := PackF32PanelsB(b, 0, 18); err == nil {
 		t.Error("zero k did not error")
 	}
 }
@@ -200,6 +205,87 @@ func TestMatMulF32PackedFuzzAgainstNaive(t *testing.T) {
 				if diff > 1e-6*scale*float64(k+1) {
 					t.Fatalf("trial %d (m=%d k=%d n=%d lda=%d): got[%d] = %g, want %g",
 						trial, m, k, n, lda, i, got[i], want[i])
+				}
+			}
+		}
+	})
+}
+
+// TestMatMulF32PackedNarrowSweep walks every output width through the
+// narrow-panel machinery: n = 1..7 runs the scalar edge kernel alone,
+// n = 8..17 mixes full 8-wide panels with every possible edge
+// remainder, and the m values cover the 4-row/1-row split. Both
+// dispatches, so the 4×8/1×8 assembly is pinned against the portable
+// kernels and the naive reference.
+func TestMatMulF32PackedNarrowSweep(t *testing.T) {
+	eachDispatch(t, func(t *testing.T) {
+		rng := NewRNG(68)
+		k := 13
+		lda := k + 1
+		for n := 1; n <= 17; n++ {
+			for _, m := range []int{1, 2, 3, 4, 5, 9} {
+				a := randF32(rng, m*lda)
+				b := randF32(rng, k*n)
+				pb, err := PackF32PanelsB(b, k, n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if pb.PanelWidth() != f32PanelColsNarrow {
+					t.Fatalf("n=%d: panel width %d, want %d", n, pb.PanelWidth(), f32PanelColsNarrow)
+				}
+				want := naiveF32Ref(a, lda, b, m, k, n)
+				got := make([]float32, m*n)
+				if err := MatMulF32PackedInto(got, a, pb, m, lda); err != nil {
+					t.Fatal(err)
+				}
+				f32Close(t, "narrow", got, want, k)
+			}
+		}
+	})
+}
+
+// TestMatMulU8I8PackedEdgeColumnSweep drives every partial-panel width
+// (n mod 8 = 1..7) and row remainder through the integer packed GEMM,
+// for saturating and non-saturating matrices under both dispatches —
+// the masked-store edge kernel must write exactly nr columns and match
+// the portable kernel bit for bit.
+func TestMatMulU8I8PackedEdgeColumnSweep(t *testing.T) {
+	eachDispatch(t, func(t *testing.T) {
+		rng := NewRNG(69)
+		k := 21
+		lda := k + 3
+		for n := 1; n <= 15; n++ {
+			for _, m := range []int{1, 3, 4, 5} {
+				for _, sat := range []bool{false, true} {
+					a := padForQuads(randU8(rng, m*lda))
+					bt := randI8(rng, n*k)
+					if !sat {
+						for i := range bt {
+							bt[i] = int8(rng.Intn(129) - 64)
+						}
+					} else {
+						bt[0], bt[1] = 127, 127
+					}
+					pb, err := PackI8PanelsBT(bt, k, n)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want := naivePackedRef(a, lda, bt, m, k, n)
+					// Sentinel-guarded dst: one extra slot past the end must
+					// survive the masked store of the final row's edge panel.
+					got := make([]int32, m*n+1)
+					got[m*n] = 0x5ca1ab1e
+					if err := MatMulU8I8PackedInto(got[:m*n], a, pb, m, lda); err != nil {
+						t.Fatal(err)
+					}
+					if got[m*n] != 0x5ca1ab1e {
+						t.Fatalf("n=%d m=%d sat=%v: kernel wrote past dst", n, m, sat)
+					}
+					for i := range want {
+						if got[i] != want[i] {
+							t.Fatalf("n=%d m=%d sat=%v: got[%d] = %d, want %d", n, m, sat, i, got[i], want[i])
+						}
+					}
 				}
 			}
 		}
