@@ -306,7 +306,36 @@ func runKernelBenches(out io.Writer, jsonPath string) error {
 		}
 	}
 
-	data, err := json.MarshalIndent(rep, "", "  ")
+	if err := writeKernelReport(jsonPath, &rep); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s\n", jsonPath)
+	return nil
+}
+
+// writeKernelReport rewrites the kernel-report fields of the benchmark
+// JSON while carrying through any foreign top-level keys other tools have
+// merged in (e.g. the dist experiment's "dist_faults" sweep). An existing
+// file that fails to parse is simply overwritten.
+func writeKernelReport(jsonPath string, rep *kernelReport) error {
+	repJSON, err := json.Marshal(rep)
+	if err != nil {
+		return fmt.Errorf("marshal kernel report: %w", err)
+	}
+	doc := map[string]json.RawMessage{}
+	if old, err := os.ReadFile(jsonPath); err == nil {
+		if err := json.Unmarshal(old, &doc); err != nil {
+			doc = map[string]json.RawMessage{}
+		}
+	}
+	var repMap map[string]json.RawMessage
+	if err := json.Unmarshal(repJSON, &repMap); err != nil {
+		return fmt.Errorf("marshal kernel report: %w", err)
+	}
+	for k, v := range repMap {
+		doc[k] = v
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return fmt.Errorf("marshal kernel report: %w", err)
 	}
@@ -314,6 +343,5 @@ func runKernelBenches(out io.Writer, jsonPath string) error {
 	if err := os.WriteFile(jsonPath, data, 0o644); err != nil {
 		return fmt.Errorf("write kernel report: %w", err)
 	}
-	fmt.Fprintf(out, "wrote %s\n", jsonPath)
 	return nil
 }

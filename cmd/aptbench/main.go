@@ -14,6 +14,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -39,7 +40,7 @@ func run(args []string, out io.Writer) error {
 	verbose := fs.Bool("v", false, "log per-epoch training progress")
 	csvPath := fs.String("csv", "", "also write results as CSV to this file (one block per experiment)")
 	kernels := fs.Bool("kernels", false, "run tensor-engine micro-benchmarks instead of experiments")
-	benchOut := fs.String("benchout", "BENCH_tensor.json", "JSON report path for -kernels")
+	benchOut := fs.String("benchout", "BENCH_tensor.json", "JSON report path for -kernels and experiment artifacts")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -77,6 +78,12 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprint(out, rep.Render())
 		fmt.Fprintf(out, "(%s scale, %s)\n\n", scale.Name, time.Since(start).Round(time.Millisecond))
+		if len(rep.Artifacts) > 0 {
+			if err := mergeBenchArtifacts(*benchOut, rep.Artifacts); err != nil {
+				return fmt.Errorf("%s: %w", id, err)
+			}
+			fmt.Fprintf(out, "merged %s artifacts into %s\n\n", rep.ID, *benchOut)
+		}
 		if *csvPath != "" {
 			csv.WriteString("# " + rep.ID + ": " + rep.Title + "\n")
 			csv.WriteString(rep.CSV())
@@ -89,4 +96,30 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// mergeBenchArtifacts folds an experiment's machine-readable artifacts
+// into the benchmark JSON at path as top-level keys, preserving whatever
+// the file already holds (the -kernels report, other experiments' keys).
+func mergeBenchArtifacts(path string, artifacts map[string]any) error {
+	doc := map[string]json.RawMessage{}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return fmt.Errorf("parse %s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	for k, v := range artifacts {
+		raw, err := json.Marshal(v)
+		if err != nil {
+			return fmt.Errorf("marshal artifact %q: %w", k, err)
+		}
+		doc[k] = raw
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

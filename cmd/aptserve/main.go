@@ -27,9 +27,18 @@
 // reload, for a zero-downtime model update. -deadline imposes a default
 // per-request deadline on requests that don't carry their own.
 //
+// -watch closes the loop without any operator action: the checkpoint
+// path is polled at the given interval (cheaply, via the version/CRC
+// trailer models.SaveFileAtomic writes; mtime+size for legacy files) and
+// a change triggers the same hot reload — the serving side of apttrain
+// -dist -publish. Reloads retry with backoff, so a checkpoint caught
+// mid-replace by a non-atomic writer heals on the next attempt instead
+// of taking the server down.
+//
 // -smoke starts the server on an ephemeral port, performs health,
-// classify, and hot-reload round trips, and shuts down cleanly — the CI
-// end-to-end probe.
+// classify, and hot-reload round trips (plus, with -watch, a
+// republish-and-poll round trip that deliberately tears the checkpoint
+// mid-write), and shuts down cleanly — the CI end-to-end probe.
 package main
 
 import (
@@ -78,9 +87,13 @@ func run(args []string, out io.Writer) error {
 	maxDelay := fs.Duration("max-delay", 2*time.Millisecond, "max wait for a batch to fill")
 	queueCap := fs.Int("queue", 0, "request queue bound (0 = 4·max-batch·workers)")
 	deadline := fs.Duration("deadline", 0, "default per-request deadline for /classify (0 = none; requests may set deadline_ms)")
+	watch := fs.Duration("watch", 0, "poll the -model checkpoint at this interval and hot-reload when it changes (0 = off)")
 	smoke := fs.Bool("smoke", false, "serve on an ephemeral port, run classify and hot-reload round trips, exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *watch > 0 && *modelPath == "" {
+		return fmt.Errorf("-watch requires -model")
 	}
 
 	srv, testSet, err := buildServer(serverConfig{
@@ -106,8 +119,42 @@ func run(args []string, out io.Writer) error {
 		WriteTimeout:      60 * time.Second,
 		IdleTimeout:       120 * time.Second,
 	}
+	if *watch > 0 {
+		watchDone := make(chan struct{})
+		defer close(watchDone)
+		go watchCheckpoint(watchDone, *modelPath, *watch, srv, out)
+	}
 	if *smoke {
-		return smokeRun(hs, srv, testSet, *size, out)
+		// With -watch, the smoke run also exercises the publish side:
+		// republish the checkpoint under a bumped version — tearing the
+		// file mid-write first, as a crashing non-atomic publisher
+		// would — and let the watcher pick it up through its retry path.
+		var republish func() error
+		if *watch > 0 {
+			republish = func() error {
+				v, _, err := models.CheckpointVersion(*modelPath)
+				if err != nil {
+					return err
+				}
+				raw, err := os.ReadFile(*modelPath)
+				if err != nil {
+					return err
+				}
+				mcfg := models.Config{Classes: *classes, InputSize: *size, Seed: *seed + 1}
+				m, err := models.LoadAutoFile(*modelPath, *arch, *width, mcfg)
+				if err != nil {
+					return err
+				}
+				// The torn write in flight: half a checkpoint, written
+				// in place. The watcher must reject it (CRC) and retry,
+				// not swap in garbage or crash.
+				if err := os.WriteFile(*modelPath, raw[:len(raw)/2], 0o644); err != nil {
+					return err
+				}
+				return models.SaveFileAtomic(*modelPath, m, v+1)
+			}
+		}
+		return smokeRun(hs, srv, testSet, *size, republish, out)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -238,7 +285,10 @@ func buildServer(cfg serverConfig, out io.Writer) (*serve.Server, data.Dataset, 
 		Workers: cfg.workers, MaxBatch: cfg.maxBatch, MaxDelay: cfg.maxDelay, QueueCap: cfg.queueCap,
 		DefaultDeadline: cfg.deadline,
 		Reload:          reload,
-		Warmup:          true,
+		// A reload that catches the checkpoint mid-replace heals on
+		// retry once the publisher's rename lands.
+		ReloadRetries: 3,
+		Warmup:        true,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -246,9 +296,69 @@ func buildServer(cfg serverConfig, out io.Writer) (*serve.Server, data.Dataset, 
 	return srv, testSet, nil
 }
 
+// watchCheckpoint polls a checkpoint file and hot-reloads the server
+// when it changes. Checkpoints written by models.SaveFileAtomic carry a
+// version trailer read without decoding the payload; legacy files fall
+// back to mtime+size. A failed reload (a torn file from a non-atomic
+// writer, say) leaves the change pending, so the next tick retries until
+// the file heals — on top of Server.Reload's own per-call retries.
+func watchCheckpoint(done <-chan struct{}, path string, every time.Duration, srv *serve.Server, out io.Writer) {
+	type fileID struct {
+		ver    uint64
+		hasVer bool
+		mtime  time.Time
+		size   int64
+	}
+	ident := func() (fileID, error) {
+		fi, err := os.Stat(path)
+		if err != nil {
+			return fileID{}, err
+		}
+		id := fileID{mtime: fi.ModTime(), size: fi.Size()}
+		if v, ok, err := models.CheckpointVersion(path); err == nil && ok {
+			id.ver, id.hasVer = v, true
+		}
+		return id, nil
+	}
+	same := func(a, b fileID) bool {
+		if a.hasVer && b.hasVer {
+			return a.ver == b.ver
+		}
+		return a.hasVer == b.hasVer && a.size == b.size && a.mtime.Equal(b.mtime)
+	}
+	last, lastErr := ident() // the checkpoint currently being served
+	primed := lastErr == nil
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case <-t.C:
+		}
+		cur, err := ident()
+		if err != nil {
+			continue // mid-rename or gone; next tick settles it
+		}
+		if primed && same(cur, last) {
+			continue
+		}
+		v, err := srv.Reload()
+		if err != nil {
+			fmt.Fprintf(out, "watch: reload failed: %v\n", err)
+			continue // keep the change pending; retry next tick
+		}
+		fmt.Fprintf(out, "watch: reloaded model (version %d)\n", v)
+		last, primed = cur, true
+	}
+}
+
 // smokeRun binds an ephemeral port, performs health, classify, and
-// hot-reload round trips over real HTTP, and shuts the server down.
-func smokeRun(hs *http.Server, srv *serve.Server, testSet data.Dataset, size int, out io.Writer) error {
+// hot-reload round trips over real HTTP — plus, when republish is set, a
+// watcher round trip: republish the checkpoint (torn write included) and
+// poll /stats until the new model version is live — and shuts the server
+// down.
+func smokeRun(hs *http.Server, srv *serve.Server, testSet data.Dataset, size int, republish func() error, out io.Writer) error {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
@@ -339,6 +449,38 @@ func smokeRun(hs *http.Server, srv *serve.Server, testSet data.Dataset, size int
 		return fmt.Errorf("classify after reload: status %d, body %+v (want class %d)", resp.StatusCode, got2, *got.Class)
 	}
 	fmt.Fprintf(out, "smoke: hot reload -> model version %d, same prediction\n", rel.Version)
+
+	if republish != nil {
+		if err := republish(); err != nil {
+			return fmt.Errorf("republish: %w", err)
+		}
+		// The watcher must survive the torn intermediate write and land
+		// on the republished checkpoint: model version 3 (boot = 1,
+		// explicit reload = 2, watch reload = 3).
+		watchDeadline := time.Now().Add(10 * time.Second)
+		for {
+			resp, err = http.Get(base + "/stats")
+			if err != nil {
+				return fmt.Errorf("stats: %w", err)
+			}
+			var st struct {
+				ModelVersion uint64 `json:"model_version"`
+			}
+			err = json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			if err != nil {
+				return fmt.Errorf("stats decode: %w", err)
+			}
+			if st.ModelVersion >= 3 {
+				fmt.Fprintf(out, "smoke: watch -> model version %d after republish\n", st.ModelVersion)
+				break
+			}
+			if time.Now().After(watchDeadline) {
+				return fmt.Errorf("watch: model version still %d after republish", st.ModelVersion)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
 
 	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()

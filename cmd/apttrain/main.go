@@ -7,12 +7,26 @@
 // -mode apt the server runs the precision controller and broadcasts
 // weights bit-packed at each layer's current bitwidth.
 //
+// Distributed runs are operable: -checkpoint writes a complete resumable
+// TrainState snapshot every -checkpoint-every rounds (atomically, with a
+// version/CRC trailer), -resume restarts a killed run from it — in
+// strict-barrier mode bit-identically to the uninterrupted run — and
+// -publish periodically writes a bit-packed serving checkpoint that
+// aptserve -watch hot-reloads. -heartbeat enables elastic worker
+// membership: stalled workers are expelled from the gradient barrier and
+// respawned within -max-respawns, the server steps on a -min-shards
+// quorum, and stragglers' gradients fold in while at most -max-staleness
+// rounds old. -halt-after stops a run cleanly after N rounds (a
+// deterministic stand-in for a kill in resume tests).
+//
 // Usage:
 //
 //	apttrain -model resnet20 -classes 10 -epochs 20 -mode apt -tmin 6
 //	apttrain -model smallcnn -mode fixed -bits 12
 //	apttrain -model mobilenetv2 -mode fp32
 //	apttrain -model smallcnn -mode apt -dist -workers 4 -codec ternary
+//	apttrain -dist -checkpoint run.state -checkpoint-every 10 -halt-after 25
+//	apttrain -dist -checkpoint run.state -resume -publish model.apt
 package main
 
 import (
@@ -21,6 +35,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"time"
 
 	"repro/internal/baselines"
 	"repro/internal/core"
@@ -60,12 +75,31 @@ func run(args []string, out io.Writer) error {
 	distFlag := fs.Bool("dist", false, "train data-parallel through the concurrent parameter-server engine")
 	workers := fs.Int("workers", 2, "data-parallel workers for -dist")
 	codecName := fs.String("codec", "fp32", "-dist gradient codec: fp32, 8bit, ternary")
-	savePath := fs.String("save", "", "write the trained model as a bit-packed checkpoint (not supported with -dist)")
+	savePath := fs.String("save", "", "write the trained model as a bit-packed checkpoint (not supported with -dist; use -publish)")
+	ckptPath := fs.String("checkpoint", "", "-dist: write resumable TrainState snapshots to this path")
+	ckptEvery := fs.Int("checkpoint-every", 0, "-dist: checkpoint cadence in server rounds (0 = only at halt and end of run)")
+	resume := fs.Bool("resume", false, "-dist: resume from the -checkpoint snapshot")
+	publishPath := fs.String("publish", "", "-dist: publish bit-packed serving checkpoints to this path (watched by aptserve -watch)")
+	publishEvery := fs.Int("publish-every", 0, "-dist: publish cadence in server rounds (0 = only at end of run)")
+	haltAfter := fs.Int("halt-after", 0, "-dist: stop cleanly after this many total rounds, writing a checkpoint")
+	heartbeat := fs.Duration("heartbeat", 0, "-dist: heartbeat timeout for elastic worker membership (0 = strict barrier)")
+	minShards := fs.Int("min-shards", 0, "-dist: step on this K-of-N gradient quorum once the heartbeat grace expires")
+	maxStaleness := fs.Int("max-staleness", 0, "-dist: fold straggler gradients up to this many rounds old (0 = drop)")
+	maxRespawns := fs.Int("max-respawns", 0, "-dist: budget for respawning workers declared dead")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *savePath != "" && *distFlag {
-		return fmt.Errorf("-save is not supported with -dist")
+		return fmt.Errorf("-save is not supported with -dist (use -publish)")
+	}
+	if !*distFlag {
+		if *ckptPath != "" || *ckptEvery != 0 || *resume || *publishPath != "" || *publishEvery != 0 ||
+			*haltAfter != 0 || *heartbeat != 0 || *minShards != 0 || *maxStaleness != 0 || *maxRespawns != 0 {
+			return fmt.Errorf("-checkpoint/-resume/-publish/-halt-after and the elastic membership flags require -dist")
+		}
+	}
+	if *resume && *ckptPath == "" {
+		return fmt.Errorf("-resume requires -checkpoint")
 	}
 
 	cfg := models.Config{Classes: *classes, InputSize: *size, Width: *width, Seed: *seed}
@@ -78,7 +112,11 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	aug, err := data.NewAugmented(tr, max(*size/8, 1), *size, tensor.NewRNG(*seed^0xA06))
+	// The augmentation RNG is kept addressable: a -dist run registers it
+	// with the checkpoint machinery so a resumed run replays the exact
+	// crop/flip draws of the uninterrupted one.
+	augRNG := tensor.NewRNG(*seed ^ 0xA06)
+	aug, err := data.NewAugmented(tr, max(*size/8, 1), *size, augRNG)
 	if err != nil {
 		return err
 	}
@@ -91,6 +129,11 @@ func run(args []string, out io.Writer) error {
 			workers: *workers, batch: *batch, epochs: *epochs,
 			lr: *lr, seed: *seed, mode: *mode, codec: *codecName,
 			initBits: *initBits, tmin: *tmin, tmax: *tmax,
+			ckptPath: *ckptPath, ckptEvery: *ckptEvery, resume: *resume,
+			publishPath: *publishPath, publishEvery: *publishEvery,
+			haltAfter: *haltAfter, heartbeat: *heartbeat,
+			minShards: *minShards, maxStaleness: *maxStaleness, maxRespawns: *maxRespawns,
+			augRNG: augRNG,
 		})
 	}
 
@@ -145,17 +188,11 @@ func run(args []string, out io.Writer) error {
 }
 
 // saveCheckpoint writes the trained model in the bit-packed
-// models.Save format (loadable by aptserve -model).
+// models.Save format (loadable by aptserve -model) — atomically, with a
+// version/CRC trailer, so a serving process re-reading the path on
+// reload can never observe a torn file.
 func saveCheckpoint(path string, m *models.Model) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := models.Save(f, m); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return models.SaveFileAtomic(path, m, 1)
 }
 
 type distArgs struct {
@@ -168,6 +205,18 @@ type distArgs struct {
 	mode, codec    string
 	initBits       int
 	tmin, tmax     float64
+
+	ckptPath     string
+	ckptEvery    int
+	resume       bool
+	publishPath  string
+	publishEvery int
+	haltAfter    int
+	heartbeat    time.Duration
+	minShards    int
+	maxStaleness int
+	maxRespawns  int
+	augRNG       *tensor.RNG
 }
 
 // runDist drives the concurrent parameter-server engine. In apt mode the
@@ -178,6 +227,20 @@ func runDist(out io.Writer, a distArgs) error {
 		Workers: a.workers, Build: a.build, Train: a.train, Test: a.test,
 		BatchSize: a.batch, Epochs: a.epochs, LR: a.lr, Momentum: 0.9,
 		Seed: a.seed, Concurrent: true,
+		HeartbeatTimeout: a.heartbeat, MinShards: a.minShards,
+		MaxStaleness: a.maxStaleness, MaxRespawns: a.maxRespawns,
+		CheckpointPath: a.ckptPath, CheckpointEvery: a.ckptEvery,
+		PublishPath: a.publishPath, PublishEvery: a.publishEvery,
+		HaltAfterRounds: a.haltAfter,
+		CheckpointRNGs:  []*tensor.RNG{a.augRNG},
+	}
+	if a.resume {
+		st, err := models.LoadTrainState(a.ckptPath)
+		if err != nil {
+			return fmt.Errorf("resume: %w", err)
+		}
+		cfg.Resume = st
+		fmt.Fprintf(out, "resuming from %s (epoch %d, round %d)\n", a.ckptPath, st.Epoch, st.Rounds)
 	}
 	switch a.mode {
 	case "apt":
@@ -217,6 +280,20 @@ func runDist(out io.Writer, a distArgs) error {
 	}
 	fmt.Fprintf(out, "downlink %d bytes (%s broadcast)\n", stats.DownBytes, bcast)
 	fmt.Fprintf(out, "rounds %d  workers %d  mean bits %.2f\n", stats.Rounds, a.workers, stats.MeanBits)
+	if stats.WorkersLost > 0 || stats.Respawns > 0 || stats.StaleFolded > 0 || stats.StaleDropped > 0 {
+		fmt.Fprintf(out, "faults: lost %d  respawned %d  rejoined %d  errors %d  stale folded %d / dropped %d  partial rounds %d\n",
+			stats.WorkersLost, stats.Respawns, stats.Rejoins, stats.WorkerErrors,
+			stats.StaleFolded, stats.StaleDropped, stats.PartialRounds)
+	}
+	if stats.Checkpoints > 0 {
+		fmt.Fprintf(out, "checkpoints %d -> %s\n", stats.Checkpoints, a.ckptPath)
+	}
+	if stats.Publishes > 0 && a.publishPath != "" {
+		fmt.Fprintf(out, "published version %d -> %s\n", stats.Publishes, a.publishPath)
+	}
+	if stats.Halted {
+		fmt.Fprintf(out, "halted after %d rounds (resume with -resume)\n", stats.Rounds)
+	}
 	return nil
 }
 

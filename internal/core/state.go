@@ -1,0 +1,87 @@
+package core
+
+import "fmt"
+
+// Controller checkpointing. The APT controller carries real training
+// history — the per-layer Gavg moving averages, the profiling iteration
+// counter, and the per-epoch traces — and a resumed run that dropped it
+// would make different precision decisions than the uninterrupted one.
+// ControllerState is the serializable snapshot; Capture/Restore convert a
+// live controller to and from it, keyed by parameter name so the snapshot
+// survives a process restart.
+
+// ParamAvg is one parameter's smoothed metric in a ControllerState.
+type ParamAvg struct {
+	Name string
+	Avg  float64
+	Seen bool
+}
+
+// ControllerState is a complete snapshot of a controller's mutable state.
+// The configuration is not included: the resuming caller reconstructs the
+// controller with the same Config it trained with.
+type ControllerState struct {
+	Iter      int
+	Avgs      []ParamAvg
+	GavgTrace map[string][]float64
+	BitsTrace map[string][]int
+}
+
+// CaptureState snapshots the controller's moving averages, iteration
+// counter, and traces. The snapshot shares no storage with the live
+// controller. Per-parameter bitwidths are NOT included — they live in the
+// parameters' quant grids, which nn.CaptureState snapshots.
+func (c *Controller) CaptureState() *ControllerState {
+	st := &ControllerState{
+		Iter:      c.iter,
+		Avgs:      make([]ParamAvg, 0, len(c.params)),
+		GavgTrace: make(map[string][]float64, len(c.gavgTrace)),
+		BitsTrace: make(map[string][]int, len(c.bitsTrace)),
+	}
+	for _, p := range c.params {
+		st.Avgs = append(st.Avgs, ParamAvg{Name: p.Name, Avg: c.avg[p], Seen: c.seen[p]})
+	}
+	for name, tr := range c.gavgTrace {
+		st.GavgTrace[name] = append([]float64(nil), tr...)
+	}
+	for name, tr := range c.bitsTrace {
+		st.BitsTrace[name] = append([]int(nil), tr...)
+	}
+	return st
+}
+
+// RestoreState imports a snapshot captured from a controller managing the
+// same parameters (matched by name and order). After it returns the
+// controller's next ObserveBatch/AdjustEpoch behave exactly as they would
+// have in the run the snapshot was taken from.
+func (c *Controller) RestoreState(st *ControllerState) error {
+	if len(st.Avgs) != len(c.params) {
+		return fmt.Errorf("core: restore: snapshot has %d averages, controller manages %d parameters", len(st.Avgs), len(c.params))
+	}
+	for i, p := range c.params {
+		rec := &st.Avgs[i]
+		if rec.Name != p.Name {
+			return fmt.Errorf("core: restore: average %d is %q, parameter is %q", i, rec.Name, p.Name)
+		}
+	}
+	c.iter = st.Iter
+	for i, p := range c.params {
+		rec := &st.Avgs[i]
+		if rec.Seen {
+			c.avg[p] = rec.Avg
+			c.seen[p] = true
+		} else {
+			delete(c.avg, p)
+			delete(c.seen, p)
+		}
+	}
+	c.gavgTrace = make(map[string][]float64, len(st.GavgTrace))
+	for name, tr := range st.GavgTrace {
+		c.gavgTrace[name] = append([]float64(nil), tr...)
+	}
+	c.bitsTrace = make(map[string][]int, len(st.BitsTrace))
+	for name, tr := range st.BitsTrace {
+		c.bitsTrace[name] = append([]int(nil), tr...)
+	}
+	return nil
+}

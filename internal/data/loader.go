@@ -15,6 +15,10 @@ type Loader struct {
 	rng       *tensor.RNG
 	order     []int
 	cursor    int
+	// epochRNG is the shuffle RNG's state captured immediately before the
+	// current epoch's permutation was drawn; replaying reset() from it
+	// regenerates the identical order. Meaningless when rng is nil.
+	epochRNG uint64
 }
 
 // NewLoader constructs a loader. A nil rng disables shuffling (evaluation
@@ -34,6 +38,7 @@ func NewLoader(ds Dataset, batchSize int, rng *tensor.RNG) (*Loader, error) {
 func (l *Loader) reset() {
 	n := l.ds.Len()
 	if l.rng != nil {
+		l.epochRNG = l.rng.State()
 		l.order = l.rng.Perm(n)
 	} else if l.order == nil {
 		l.order = make([]int, n)
@@ -42,6 +47,47 @@ func (l *Loader) reset() {
 		}
 	}
 	l.cursor = 0
+}
+
+// Cursor snapshots the loader's position for checkpointing: the shuffle
+// RNG state that produced the current epoch's order plus the offset within
+// it. Seek on an identically-constructed loader restores the exact batch
+// boundary, so a resumed run replays the remaining batches of the epoch
+// (and every following epoch's shuffle) bit-identically.
+type Cursor struct {
+	// EpochRNG is the shuffle RNG state captured before the current
+	// epoch's permutation was drawn (0 and unused for unshuffled loaders).
+	EpochRNG uint64
+	// Offset is the position within the epoch's sample order.
+	Offset int
+	// Shuffled records whether the loader shuffles; Seek refuses a cursor
+	// captured from the other kind.
+	Shuffled bool
+}
+
+// Cursor returns the loader's current position.
+func (l *Loader) Cursor() Cursor {
+	return Cursor{EpochRNG: l.epochRNG, Offset: l.cursor, Shuffled: l.rng != nil}
+}
+
+// Seek restores a position captured by Cursor on a loader built over the
+// same dataset with the same batch size. For shuffled loaders it rewinds
+// the RNG to the cursor's epoch state, regenerates the epoch's order, and
+// fast-forwards to the offset — the next call to Next returns the exact
+// batch the checkpointed run would have drawn next.
+func (l *Loader) Seek(c Cursor) error {
+	if c.Shuffled != (l.rng != nil) {
+		return fmt.Errorf("data: seek: cursor shuffled=%v, loader shuffled=%v", c.Shuffled, l.rng != nil)
+	}
+	if c.Offset < 0 || c.Offset > l.ds.Len() {
+		return fmt.Errorf("data: seek: offset %d outside dataset of %d samples", c.Offset, l.ds.Len())
+	}
+	if l.rng != nil {
+		l.rng.SetState(c.EpochRNG)
+	}
+	l.reset()
+	l.cursor = c.Offset
+	return nil
 }
 
 // Batches returns the number of batches per epoch (ceiling division).

@@ -24,11 +24,23 @@
 // bit-packed at the layer's current APT bitwidth instead of fp32, so the
 // broadcast traffic shrinks as APT keeps layers at low precision — the
 // scenario the paper motivates for resource-constrained deployments.
+//
+// The concurrent engine additionally survives worker failure: with
+// Config.HeartbeatTimeout set, workers that stall past the timeout are
+// expelled from the gradient barrier (the round's average re-weights over
+// the live contributors), optionally respawned from the server's replica
+// state, and late gradients fold in under a bounded-staleness policy or
+// are dropped and counted (Config.MinShards, Config.MaxStaleness,
+// Config.MaxRespawns). Runs checkpoint their complete state periodically
+// (Config.CheckpointPath) and resume from it (Config.Resume) — in
+// strict-barrier mode bit-identically — and publish crash-consistent
+// serving checkpoints (Config.PublishPath) a serving process can watch.
 package dist
 
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/data"
@@ -119,6 +131,21 @@ func (t *TernaryCodec) Encode(g *tensor.Tensor) int64 {
 	return (int64(g.Len())*2+7)/8 + 4
 }
 
+// statefulCodec is implemented by codecs whose encoding draws randomness.
+// Their RNG cursor must travel with training checkpoints, or a resumed
+// run would re-draw the Bernoulli samples differently and diverge from
+// the uninterrupted trajectory.
+type statefulCodec interface {
+	RNGState() uint64
+	SetRNGState(uint64)
+}
+
+// RNGState exposes the codec's sampling cursor for checkpointing.
+func (t *TernaryCodec) RNGState() uint64 { return t.rng.State() }
+
+// SetRNGState restores a sampling cursor captured by RNGState.
+func (t *TernaryCodec) SetRNGState(s uint64) { t.rng.SetState(s) }
+
 // Config assembles one data-parallel run.
 type Config struct {
 	Workers   int
@@ -146,6 +173,62 @@ type Config struct {
 	// authoritative: the server snaps its own weights onto the broadcast
 	// grid so server and replicas stay bit-identical.
 	QuantBroadcast bool
+
+	// --- Elastic membership (concurrent engine only) ---
+
+	// HeartbeatTimeout enables elastic membership: a worker that holds a
+	// shard longer than this is declared dead, expelled from the gradient
+	// barrier, and (budget permitting) respawned. Zero keeps the strict
+	// barrier — the server waits for every dispatched shard, and healthy
+	// runs stay bit-identical to the sequential reference.
+	HeartbeatTimeout time.Duration
+	// MinShards lets the server step with K-of-N gradients: once the
+	// heartbeat grace period expires, a round with at least MinShards
+	// contributions steps without waiting for stragglers. Zero means all
+	// dispatched shards are required (deaths still shrink the barrier).
+	MinShards int
+	// MaxStaleness bounds how old a straggler's gradient may be and still
+	// fold into the current round's average (in rounds). Zero drops every
+	// late gradient; the drop is counted in Stats.StaleDropped.
+	MaxStaleness int
+	// MaxRespawns bounds how many replacement workers the run may spawn.
+	// A respawn clones the server's replica state and re-runs the dead
+	// worker's shard. Past the budget, a death permanently shrinks the
+	// worker pool.
+	MaxRespawns int
+	// Fault injects scripted worker failures for the chaos tests.
+	Fault *FaultPlan
+
+	// --- Checkpoint / resume / publish ---
+
+	// CheckpointPath, when set, enables TrainState snapshots: a complete,
+	// resumable image of the run written atomically (temp file + rename,
+	// version/CRC trailer). CheckpointEvery is the cadence in server
+	// rounds; with cadence 0 a checkpoint is still written at halt and at
+	// the end of the run.
+	CheckpointPath  string
+	CheckpointEvery int
+	// PublishPath, when set, periodically publishes a bit-packed serving
+	// checkpoint (models.SaveFileAtomic) every PublishEvery rounds, and
+	// once more at the end of the run — the file a serving process watches
+	// and hot-reloads. Versions increase monotonically across resumes.
+	PublishPath  string
+	PublishEvery int
+	// HaltAfterRounds stops the run cleanly once this many total rounds
+	// have stepped, writing a final checkpoint — a deterministic stand-in
+	// for a process kill in resume tests and CI.
+	HaltAfterRounds int
+	// Resume restarts the run from a TrainState snapshot instead of from
+	// scratch. The configuration must match the checkpointed run (same
+	// architecture, seed, batch size, worker count); in strict-barrier
+	// mode the resumed trajectory is bit-identical to the uninterrupted
+	// one.
+	Resume *models.TrainState
+	// CheckpointRNGs are auxiliary RNG streams (data augmentation, for
+	// example) whose cursors must travel with checkpoints. Captured and
+	// restored in slice order; the codec's own stream, if any, is handled
+	// automatically.
+	CheckpointRNGs []*tensor.RNG
 }
 
 // Stats records the outcome of a run.
@@ -166,6 +249,40 @@ type Stats struct {
 	// replica for the sequential engine, worker 0's replica for the
 	// concurrent one), for checkpointing and equivalence tests.
 	Final *nn.NetState
+
+	// --- Elastic membership accounting ---
+
+	// WorkersLost counts workers declared dead after missing a heartbeat.
+	WorkersLost int
+	// Respawns counts replacement workers spawned for dead ones.
+	Respawns int
+	// Rejoins counts declared-dead workers that delivered after all and
+	// re-entered the membership (possible only when not yet replaced).
+	Rejoins int
+	// WorkerErrors counts worker step failures (recovered panics)
+	// tolerated under elastic membership.
+	WorkerErrors int
+	// StaleFolded counts late gradients folded into a newer round under
+	// the MaxStaleness bound; StaleDropped counts late gradients
+	// discarded (too old, or from a replaced worker).
+	StaleFolded  int
+	StaleDropped int
+	// PartialRounds counts rounds that stepped with fewer gradients than
+	// were dispatched; SkippedRounds counts rounds abandoned with no
+	// usable gradient at all.
+	PartialRounds int
+	SkippedRounds int
+
+	// --- Checkpoint / publish accounting ---
+
+	// Checkpoints counts TrainState snapshots written this run (not
+	// carried across resumes). Publishes is the version of the last
+	// published serving checkpoint (monotonic across resumes).
+	Checkpoints int
+	Publishes   uint64
+	// Halted reports the run stopped at HaltAfterRounds rather than
+	// completing its epoch budget.
+	Halted bool
 }
 
 // FinalAcc returns the last epoch's test accuracy (0 for an empty run).
@@ -309,6 +426,150 @@ func (s *server) finalize(evalModel *models.Model) {
 	s.st.Final = nn.CaptureState(evalModel.Layers())
 }
 
+// rngStates collects the auxiliary RNG cursors that travel with a
+// checkpoint: the caller-registered streams in order, then the codec's
+// sampling stream if it has one. restoreRNGs is the exact inverse.
+func (s *server) rngStates() []uint64 {
+	var out []uint64
+	for _, r := range s.cfg.CheckpointRNGs {
+		out = append(out, r.State())
+	}
+	if sc, ok := s.codec.(statefulCodec); ok {
+		out = append(out, sc.RNGState())
+	}
+	return out
+}
+
+func (s *server) restoreRNGs(states []uint64) error {
+	want := len(s.cfg.CheckpointRNGs)
+	sc, stateful := s.codec.(statefulCodec)
+	if stateful {
+		want++
+	}
+	if len(states) != want {
+		return fmt.Errorf("dist: resume: checkpoint has %d RNG streams, run has %d", len(states), want)
+	}
+	for i, r := range s.cfg.CheckpointRNGs {
+		r.SetState(states[i])
+	}
+	if stateful {
+		sc.SetRNGState(states[len(states)-1])
+	}
+	return nil
+}
+
+// captureTrainState assembles a complete resumable snapshot: the server
+// replica, optimizer and controller state, the loader's batch cursor,
+// auxiliary RNG cursors, and the run's cumulative accounting. epoch is
+// the epoch in progress (epoch+1 at an epoch boundary — the loader has
+// already drawn the next epoch's order by then); replicas carries
+// per-worker state from the concurrent engine, nil otherwise.
+func (s *server) captureTrainState(epoch int, loader *data.Loader, replicas []*nn.NetState) *models.TrainState {
+	st := &models.TrainState{
+		Arch:      s.m.Name,
+		Width:     s.m.Width,
+		Seed:      s.cfg.Seed,
+		Epoch:     epoch,
+		Loader:    loader.Cursor(),
+		Net:       nn.CaptureState(s.m.Layers()),
+		Replicas:  replicas,
+		Opt:       s.opt.CaptureState(s.params),
+		RNGs:      s.rngStates(),
+		Rounds:    s.st.Rounds,
+		UpBytes:   s.st.UpBytes,
+		DownBytes: s.st.DownBytes,
+		Accs:      append([]float64(nil), s.st.Accs...),
+		Publishes: s.st.Publishes,
+	}
+	if s.ctrl != nil {
+		st.Ctrl = s.ctrl.CaptureState()
+	}
+	return st
+}
+
+// checkpoint writes a TrainState snapshot to cfg.CheckpointPath.
+func (s *server) checkpoint(epoch int, loader *data.Loader, replicas []*nn.NetState) error {
+	st := s.captureTrainState(epoch, loader, replicas)
+	if err := models.SaveTrainState(s.cfg.CheckpointPath, st); err != nil {
+		return fmt.Errorf("dist: checkpoint: %w", err)
+	}
+	s.st.Checkpoints++
+	return nil
+}
+
+// shouldCheckpoint reports whether the periodic cadence lands on the
+// current round. (Halt and end-of-run checkpoints bypass the cadence.)
+func (s *server) shouldCheckpoint() bool {
+	return s.cfg.CheckpointPath != "" && s.cfg.CheckpointEvery > 0 &&
+		s.st.Rounds%s.cfg.CheckpointEvery == 0
+}
+
+func (s *server) timeToPublish() bool {
+	return s.cfg.PublishPath != "" && s.cfg.PublishEvery > 0 &&
+		s.st.Rounds%s.cfg.PublishEvery == 0
+}
+
+// publish writes m as a bit-packed serving checkpoint to cfg.PublishPath
+// with the next monotonic version — atomically, so a serving process
+// polling the path never observes a torn file.
+func (s *server) publish(m *models.Model) error {
+	v := s.st.Publishes + 1
+	if err := models.SaveFileAtomic(s.cfg.PublishPath, m, v); err != nil {
+		return fmt.Errorf("dist: publish: %w", err)
+	}
+	s.st.Publishes = v
+	return nil
+}
+
+// restore imports a TrainState snapshot into a freshly built server and
+// its loader, returning the epoch to continue from. Order matters:
+// nn.RestoreState must run after the controller was constructed (the
+// controller's constructor stamps InitBits onto every parameter; the
+// snapshot's quant grids must win), and the controller and optimizer
+// restore against the restored parameters.
+func (s *server) restore(st *models.TrainState, loader *data.Loader) (int, error) {
+	if st.Arch != s.m.Name {
+		return 0, fmt.Errorf("dist: resume: checkpoint is for %q, run builds %q", st.Arch, s.m.Name)
+	}
+	if st.Width != s.m.Width {
+		return 0, fmt.Errorf("dist: resume: checkpoint width %g, run width %g", st.Width, s.m.Width)
+	}
+	if st.Seed != s.cfg.Seed {
+		return 0, fmt.Errorf("dist: resume: checkpoint seed %d, run seed %d", st.Seed, s.cfg.Seed)
+	}
+	if st.Net == nil || st.Opt == nil {
+		return 0, fmt.Errorf("dist: resume: incomplete checkpoint")
+	}
+	if err := nn.RestoreState(s.m.Layers(), st.Net); err != nil {
+		return 0, fmt.Errorf("dist: resume: %w", err)
+	}
+	switch {
+	case s.ctrl != nil && st.Ctrl != nil:
+		if err := s.ctrl.RestoreState(st.Ctrl); err != nil {
+			return 0, fmt.Errorf("dist: resume: %w", err)
+		}
+	case s.ctrl != nil:
+		return 0, fmt.Errorf("dist: resume: run has an APT controller, checkpoint has no controller state")
+	case st.Ctrl != nil:
+		return 0, fmt.Errorf("dist: resume: checkpoint has APT controller state, run has no controller")
+	}
+	if err := s.opt.RestoreState(s.params, st.Opt); err != nil {
+		return 0, fmt.Errorf("dist: resume: %w", err)
+	}
+	if err := loader.Seek(st.Loader); err != nil {
+		return 0, fmt.Errorf("dist: resume: %w", err)
+	}
+	if err := s.restoreRNGs(st.RNGs); err != nil {
+		return 0, err
+	}
+	s.st.Rounds = st.Rounds
+	s.st.UpBytes = st.UpBytes
+	s.st.DownBytes = st.DownBytes
+	s.st.Accs = append([]float64(nil), st.Accs...)
+	s.st.Publishes = st.Publishes
+	return st.Epoch, nil
+}
+
 func meanBits(params []*nn.Param) float64 {
 	var bits, n float64
 	for _, p := range params {
@@ -331,6 +592,24 @@ func (c *Config) validate() error {
 	}
 	if c.QuantBroadcast && c.APT == nil {
 		return fmt.Errorf("dist: QuantBroadcast requires an APT controller config")
+	}
+	if !c.Concurrent && (c.HeartbeatTimeout != 0 || c.MinShards != 0 || c.MaxStaleness != 0 || c.MaxRespawns != 0 || c.Fault != nil) {
+		return fmt.Errorf("dist: elastic membership and fault injection require the concurrent engine")
+	}
+	if c.HeartbeatTimeout == 0 && (c.MinShards != 0 || c.MaxStaleness != 0 || c.MaxRespawns != 0) {
+		return fmt.Errorf("dist: MinShards, MaxStaleness and MaxRespawns require HeartbeatTimeout > 0")
+	}
+	if c.MinShards < 0 || c.MinShards > c.Workers {
+		return fmt.Errorf("dist: MinShards %d outside [0, %d workers]", c.MinShards, c.Workers)
+	}
+	if c.MaxStaleness < 0 || c.MaxRespawns < 0 || c.CheckpointEvery < 0 || c.PublishEvery < 0 || c.HaltAfterRounds < 0 {
+		return fmt.Errorf("dist: negative cadence or budget")
+	}
+	if c.CheckpointEvery > 0 && c.CheckpointPath == "" {
+		return fmt.Errorf("dist: CheckpointEvery requires CheckpointPath")
+	}
+	if c.PublishEvery > 0 && c.PublishPath == "" {
+		return fmt.Errorf("dist: PublishEvery requires PublishPath")
 	}
 	if c.Codec == nil {
 		c.Codec = FP32Codec{}
@@ -366,6 +645,12 @@ func runSequential(cfg Config) (*Stats, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dist: %w", err)
 	}
+	startEpoch := 0
+	if cfg.Resume != nil {
+		if startEpoch, err = srv.restore(cfg.Resume, loader); err != nil {
+			return nil, err
+		}
+	}
 	loss := nn.SoftmaxCrossEntropy{}
 
 	// Reusable staging tensors for the codec, allocated once.
@@ -374,7 +659,7 @@ func runSequential(cfg Config) (*Stats, error) {
 		stage[i] = tensor.New(p.Value.Shape()...)
 	}
 
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+	for epoch := startEpoch; epoch < cfg.Epochs; epoch++ {
 		// The inner loop runs rounds until the loader signals end of epoch.
 		// The signal can arrive mid-round (batch count not divisible by the
 		// worker count); the partial round still trains, and the exhausted
@@ -417,6 +702,32 @@ func runSequential(cfg Config) (*Stats, error) {
 			if err := srv.finishRound(shards); err != nil {
 				return nil, err
 			}
+			if exhausted {
+				// The loader already reshuffled for the next epoch;
+				// a checkpoint here could not name this position.
+				// The epoch-boundary checkpoint below covers it.
+				continue
+			}
+			if srv.shouldCheckpoint() {
+				if err := srv.checkpoint(epoch, loader, nil); err != nil {
+					return nil, err
+				}
+			}
+			if srv.timeToPublish() {
+				if err := srv.publish(srv.m); err != nil {
+					return nil, err
+				}
+			}
+			if cfg.HaltAfterRounds > 0 && srv.st.Rounds >= cfg.HaltAfterRounds {
+				if cfg.CheckpointPath != "" {
+					if err := srv.checkpoint(epoch, loader, nil); err != nil {
+						return nil, err
+					}
+				}
+				srv.st.Halted = true
+				srv.finalize(srv.m)
+				return srv.st, nil
+			}
 		}
 		if err := srv.finishEpoch(); err != nil {
 			return nil, err
@@ -426,6 +737,27 @@ func runSequential(cfg Config) (*Stats, error) {
 			return nil, fmt.Errorf("dist: epoch %d eval: %w", epoch, err)
 		}
 		srv.st.Accs = append(srv.st.Accs, acc)
+		haltNow := cfg.HaltAfterRounds > 0 && srv.st.Rounds >= cfg.HaltAfterRounds
+		if cfg.CheckpointPath != "" && (cfg.CheckpointEvery > 0 || haltNow) {
+			if err := srv.checkpoint(epoch+1, loader, nil); err != nil {
+				return nil, err
+			}
+		}
+		if haltNow {
+			srv.st.Halted = true
+			srv.finalize(srv.m)
+			return srv.st, nil
+		}
+	}
+	if cfg.CheckpointPath != "" {
+		if err := srv.checkpoint(cfg.Epochs, loader, nil); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.PublishPath != "" {
+		if err := srv.publish(srv.m); err != nil {
+			return nil, err
+		}
 	}
 	srv.finalize(srv.m)
 	return srv.st, nil

@@ -1,0 +1,131 @@
+package models
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSaveFileAtomicRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.apt")
+	if err := SaveFileAtomic(path, trainedModel(t), 7); err != nil {
+		t.Fatalf("SaveFileAtomic: %v", err)
+	}
+	v, ok, err := CheckpointVersion(path)
+	if err != nil || !ok || v != 7 {
+		t.Errorf("CheckpointVersion = (%d, %v, %v), want (7, true, nil)", v, ok, err)
+	}
+	if _, err := LoadAutoFile(path, "", 0, Config{Classes: 4, InputSize: 12, Seed: 1}); err != nil {
+		t.Errorf("LoadAutoFile: %v", err)
+	}
+	leftovers, err := filepath.Glob(filepath.Join(dir, ".apt-tmp-*"))
+	if err != nil {
+		t.Fatalf("Glob: %v", err)
+	}
+	if len(leftovers) != 0 {
+		t.Errorf("temp files left behind: %v", leftovers)
+	}
+}
+
+// TestLegacyTrailerlessCheckpointLoads: serving checkpoints written
+// before the trailer existed must keep loading; they just report no
+// version, sending watchers to the mtime+size fallback.
+func TestLegacyTrailerlessCheckpointLoads(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "legacy.apt")
+	var buf bytes.Buffer
+	if err := Save(&buf, trainedModel(t)); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if _, err := LoadAutoFile(path, "", 0, Config{Classes: 4, InputSize: 12, Seed: 1}); err != nil {
+		t.Errorf("legacy checkpoint: %v", err)
+	}
+	if _, ok, err := CheckpointVersion(path); err != nil || ok {
+		t.Errorf("legacy checkpoint reported a trailer: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestCorruptCheckpointRejected: a flipped payload byte must surface as
+// ErrCorruptCheckpoint, not a confusing gob decode failure — this is what
+// lets the serving reload path retry a torn write instead of swapping in
+// garbage.
+func TestCorruptCheckpointRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "model.apt")
+	if err := SaveFileAtomic(path, trainedModel(t), 1); err != nil {
+		t.Fatalf("SaveFileAtomic: %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	raw[len(raw)/3] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if _, err := LoadAutoFile(path, "", 0, Config{Classes: 4, InputSize: 12, Seed: 1}); !errors.Is(err, ErrCorruptCheckpoint) {
+		t.Errorf("corrupt checkpoint: err = %v, want ErrCorruptCheckpoint", err)
+	}
+}
+
+func TestTrainStateFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.state")
+	st := &TrainState{
+		Arch: "smallcnn", Width: 1, Seed: 9, Epoch: 2,
+		Rounds: 17, UpBytes: 5, DownBytes: 6,
+		Accs: []float64{0.5, 0.75}, RNGs: []uint64{1, 2}, Publishes: 3,
+	}
+	if err := SaveTrainState(path, st); err != nil {
+		t.Fatalf("SaveTrainState: %v", err)
+	}
+	got, err := LoadTrainState(path)
+	if err != nil {
+		t.Fatalf("LoadTrainState: %v", err)
+	}
+	if got.Arch != st.Arch || got.Seed != st.Seed || got.Epoch != st.Epoch ||
+		got.Rounds != st.Rounds || got.Publishes != st.Publishes ||
+		len(got.Accs) != 2 || got.Accs[1] != 0.75 || len(got.RNGs) != 2 || got.RNGs[1] != 2 {
+		t.Errorf("round trip mangled the state: %+v", got)
+	}
+	// The trailer version counts rounds, so successive snapshots are
+	// distinguishable without decoding.
+	v, ok, err := CheckpointVersion(path)
+	if err != nil || !ok || v != 17 {
+		t.Errorf("CheckpointVersion = (%d, %v, %v), want (17, true, nil)", v, ok, err)
+	}
+}
+
+// TestTrainStateRejectsDamage: unlike serving checkpoints, train-state
+// files have always carried a trailer, so a missing or mismatched one is
+// an error — resuming from a torn snapshot must be impossible.
+func TestTrainStateRejectsDamage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.state")
+	st := &TrainState{Arch: "x", Rounds: 1}
+	if err := SaveTrainState(path, st); err != nil {
+		t.Fatalf("SaveTrainState: %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+
+	flipped := append([]byte(nil), raw...)
+	flipped[len(flipped)/2] ^= 0x10
+	if err := os.WriteFile(path, flipped, 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if _, err := LoadTrainState(path); !errors.Is(err, ErrCorruptCheckpoint) {
+		t.Errorf("corrupt train state: err = %v, want ErrCorruptCheckpoint", err)
+	}
+
+	if err := os.WriteFile(path, raw[:len(raw)-trailerSize], 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if _, err := LoadTrainState(path); err == nil {
+		t.Error("trailerless train state loaded")
+	}
+}

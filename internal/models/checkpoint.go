@@ -1,6 +1,7 @@
 package models
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -122,14 +123,21 @@ func LoadAuto(r io.Reader, arch string, width float64, cfg Config) (*Model, erro
 // LoadAutoFile is LoadAuto from a checkpoint file on disk — the shape
 // serving needs for boot and for hot reload (aptserve re-reads the path
 // on SIGHUP / POST /admin/reload, so a newly trained checkpoint swapped
-// in under the same name is picked up without a restart).
+// in under the same name is picked up without a restart). When the file
+// carries a version/CRC trailer (SaveFileAtomic writes one), the payload
+// is verified before decoding: a torn or corrupt write fails with
+// ErrCorruptCheckpoint instead of a confusing partial-decode error, and
+// the serving reload path retries rather than swapping in garbage.
 func LoadAutoFile(path, arch string, width float64, cfg Config) (*Model, error) {
-	f, err := os.Open(path)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	m, err := LoadAuto(f, arch, width, cfg)
+	payload, _, _, err := splitTrailer(data)
+	if err != nil {
+		return nil, fmt.Errorf("models: load %s: %w", path, err)
+	}
+	m, err := LoadAuto(bytes.NewReader(payload), arch, width, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("models: load %s: %w", path, err)
 	}

@@ -126,6 +126,73 @@ func (s *SGD) Step(params []*nn.Param) error {
 	return nil
 }
 
+// SGDVelocity is one parameter's momentum buffer in an SGDState snapshot.
+type SGDVelocity struct {
+	Name string
+	Data []float32
+}
+
+// SGDState is a checkpointable snapshot of the optimizer: the learning
+// rate and every parameter's momentum buffer, keyed by parameter name.
+// Together with the model's nn.NetState it makes a mid-run training
+// trajectory resumable bit-identically — momentum carries history, so
+// dropping it on resume would diverge from the uninterrupted run.
+type SGDState struct {
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+	Velocity    []SGDVelocity
+}
+
+// CaptureState snapshots the optimizer's state for the given parameters.
+// Parameters the optimizer has never stepped contribute a zero buffer, so
+// Capture → Restore round-trips regardless of when the snapshot is taken.
+func (s *SGD) CaptureState(params []*nn.Param) *SGDState {
+	st := &SGDState{
+		LR: s.lr, Momentum: s.momentum, WeightDecay: s.weightDecay,
+		Velocity: make([]SGDVelocity, 0, len(params)),
+	}
+	for _, p := range params {
+		rec := SGDVelocity{Name: p.Name}
+		if v := s.velocity[p]; v != nil {
+			rec.Data = append([]float32(nil), v.Data()...)
+		} else {
+			rec.Data = make([]float32, p.Value.Len())
+		}
+		st.Velocity = append(st.Velocity, rec)
+	}
+	return st
+}
+
+// RestoreState imports a snapshot captured with CaptureState, binding the
+// velocity buffers to params by name and order. The hyperparameters
+// travel with the snapshot so a resumed run steps identically even if the
+// caller constructed the optimizer with defaults.
+func (s *SGD) RestoreState(params []*nn.Param, st *SGDState) error {
+	if len(params) != len(st.Velocity) {
+		return fmt.Errorf("optim: restore: snapshot has %d velocity buffers, model has %d parameters", len(st.Velocity), len(params))
+	}
+	s.lr = st.LR
+	s.momentum = st.Momentum
+	s.weightDecay = st.WeightDecay
+	for i, p := range params {
+		rec := &st.Velocity[i]
+		if rec.Name != p.Name {
+			return fmt.Errorf("optim: restore: buffer %d is %q, parameter is %q", i, rec.Name, p.Name)
+		}
+		if len(rec.Data) != p.Value.Len() {
+			return fmt.Errorf("optim: restore %s: %d values for %d elements", p.Name, len(rec.Data), p.Value.Len())
+		}
+		v := s.velocity[p]
+		if v == nil {
+			v = tensor.New(p.Value.Shape()...)
+			s.velocity[p] = v
+		}
+		copy(v.Data(), rec.Data)
+	}
+	return nil
+}
+
 // Schedule maps an epoch index to a learning rate.
 type Schedule interface {
 	LR(epoch int) float64

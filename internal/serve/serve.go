@@ -123,6 +123,16 @@ type Config struct {
 	// it produces a fresh Classifier (e.g. by re-reading a checkpoint)
 	// which is then Swapped in atomically.
 	Reload func() (Classifier, error)
+	// ReloadRetries is how many extra attempts Server.Reload makes when
+	// the reload function fails — a checkpoint caught mid-replace by a
+	// non-atomic publisher, a transient read error — with jittered
+	// backoff between attempts. 0 fails on the first error. Swap errors
+	// (geometry mismatch) are permanent and never retried.
+	ReloadRetries int
+	// ReloadBackoff is the base delay between reload attempts; each wait
+	// adds up to 50% random jitter so a fleet of replicas watching the
+	// same checkpoint does not retry in lockstep. Default 50ms.
+	ReloadBackoff time.Duration
 	// Warmup, when true, runs one zero-sample classification through the
 	// request queue in the background after New returns; Health reports
 	// "starting" until it (or the first real batch) completes. Off by

@@ -1,6 +1,10 @@
 package serve
 
-import "fmt"
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
 
 // Hot model swap. The engine lives behind an atomic pointer that workers
 // read once per batch, so replacing it is wait-free: in-flight batches
@@ -45,14 +49,31 @@ func (s *Server) Swap(c Classifier) (uint64, error) {
 
 // Reload produces a fresh engine via Config.Reload (re-reading a
 // checkpoint, recompiling — whatever the operator wired up) and swaps it
-// in. It backs both POST /admin/reload and aptserve's SIGHUP handler.
+// in. It backs POST /admin/reload, aptserve's SIGHUP handler, and the
+// -watch checkpoint poller. A failing reload function is retried up to
+// Config.ReloadRetries times with jittered backoff — the failure a
+// watcher actually hits is a checkpoint caught mid-replace, which heals
+// as soon as the publisher's rename lands — while Swap errors (geometry
+// mismatch) are reported immediately: a wrong model never fixes itself.
 func (s *Server) Reload() (uint64, error) {
 	if s.cfg.Reload == nil {
 		return 0, fmt.Errorf("serve: no reload function configured")
 	}
-	c, err := s.cfg.Reload()
-	if err != nil {
-		return 0, fmt.Errorf("serve: reload: %w", err)
+	backoff := s.cfg.ReloadBackoff
+	if backoff <= 0 {
+		backoff = 50 * time.Millisecond
 	}
-	return s.Swap(c)
+	var lastErr error
+	for attempt := 0; attempt <= s.cfg.ReloadRetries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff + time.Duration(rand.Int63n(int64(backoff/2)+1)))
+		}
+		c, err := s.cfg.Reload()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return s.Swap(c)
+	}
+	return 0, fmt.Errorf("serve: reload (%d attempts): %w", s.cfg.ReloadRetries+1, lastErr)
 }

@@ -20,6 +20,17 @@ func (r *RNG) Split() *RNG {
 	return &RNG{state: r.Uint64()*0x9E3779B97F4A7C15 + 0xBF58476D1CE4E5B9}
 }
 
+// State exposes the generator's internal state for checkpointing: a
+// training run that must resume bit-identically after a crash snapshots
+// every RNG stream it owns (loader shuffle, augmentation, stochastic
+// codecs) and restores them with SetState.
+func (r *RNG) State() uint64 { return r.state }
+
+// SetState rewinds (or fast-forwards) the generator to a state captured
+// with State. The next Uint64 after SetState(s) equals the one that
+// followed when State returned s.
+func (r *RNG) SetState(s uint64) { r.state = s }
+
 // Uint64 returns the next 64 uniformly distributed bits.
 func (r *RNG) Uint64() uint64 {
 	r.state += 0x9E3779B97F4A7C15
