@@ -219,6 +219,56 @@ func runKernelBenches(out io.Writer, jsonPath string) error {
 		}
 	})
 
+	// ConvImplicitU8 / ConvMaterializedU8: the whole int8 conv lowering —
+	// patch gather + packed GEMM — on the deploy-shaped stride-1 layer
+	// (16ch 16×16 3×3 pad 1, 16 samples → the exact 4096×144×32 product
+	// of IntGEMMPacked4Row, so the gap between either row and that one is
+	// the gather cost). The implicit row runs the band-staged gather that
+	// feeds kernels from cache; the materialized row packs the full patch
+	// matrix first, the way every conv ran before the implicit path. Both
+	// produce bit-identical accumulators; the ratio is the lowering win.
+	convG := tensor.ConvGeom{InC: 16, InH: 16, InW: 16, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	convN := 16
+	convOH, convOW := convG.OutHW()
+	convPos := convN * convOH * convOW
+	convSrc := make([]uint8, convN*convG.InC*convG.InH*convG.InW)
+	for i := range convSrc {
+		convSrc[i] = uint8(rng.Intn(256))
+	}
+	convPacked, err := tensor.PackI8PanelsBT(wInt, intK, intN)
+	if err != nil {
+		return err
+	}
+	record("ConvImplicitU8", intFlops, func(b *testing.B) {
+		plan, err := tensor.NewConvPlanU8(convG)
+		if err != nil {
+			b.Fatal(err)
+		}
+		work := make([]uint8, plan.Bands()*convN*plan.BandLen())
+		acc := make([]int32, convPos*intN)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := tensor.ConvU8I8ImplicitInto(acc, convSrc, convN, convPacked, plan, 3, work); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	record("ConvMaterializedU8", intFlops, func(b *testing.B) {
+		cols := make([]uint8, convPos*intK+3)
+		acc := make([]int32, convPos*intN)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := tensor.Im2ColBatchU8PatchesInto(cols[:convPos*intK], convSrc, convN, convG, 3); err != nil {
+				b.Fatal(err)
+			}
+			if err := tensor.MatMulU8I8PackedInto(acc, cols, convPacked, convPos, intK); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
 	// RequantQ31: the serving epilogue alone — requantize the transposed
 	// (position-major) accumulator block the packed GEMM above produces,
 	// at the same deploy geometry. This is the part of Engine.Forward that

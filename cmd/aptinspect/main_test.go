@@ -24,6 +24,13 @@ func TestInspectReportsLayers(t *testing.T) {
 	if !strings.Contains(s, "18.8%") && !strings.Contains(s, "% of fp32") {
 		t.Errorf("output missing fp32 ratio: %s", s)
 	}
+	// SmallCNN interleaves stride-1 and stride-2 convs, so the serving
+	// lowering table must show both modes with their stride reasons.
+	for _, want := range []string{"conv lowering", "implicit", "materialized", "stride 1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("lowering table missing %q:\n%s", want, s)
+		}
+	}
 }
 
 func TestInspectAllBackbones(t *testing.T) {

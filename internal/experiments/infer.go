@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -26,6 +27,29 @@ type inferBenchRow struct {
 	Batch   int     `json:"batch"`
 	// SamplesPerSec is the resulting single-engine throughput.
 	SamplesPerSec float64 `json:"samples_per_sec"`
+}
+
+// inferLoopShare is the per-stage decomposition of one batch-64 int8
+// forward (infer.Engine.ForwardProfile): wall time split into the
+// im2col gather/pack, the packed GEMM, the requant epilogue and
+// everything else. Best-of-N profiled forwards, since the shared
+// reference machine is noisy and the floor is the honest kernel cost.
+type inferLoopShare struct {
+	Batch     int     `json:"batch"`
+	Runs      int     `json:"runs"`
+	TotalNs   float64 `json:"total_ns"`
+	Im2colNs  float64 `json:"im2col_ns"`
+	GEMMNs    float64 `json:"gemm_ns"`
+	RequantNs float64 `json:"requant_ns"`
+	OtherNs   float64 `json:"other_ns"`
+}
+
+// inferConvLowering records one conv layer's compile-time lowering
+// decision (implicit vs materialized im2col) and the rule that made it.
+type inferConvLowering struct {
+	Layer string `json:"layer"`
+	Mode  string `json:"mode"`
+	Why   string `json:"why"`
 }
 
 // inferServingStats is the micro-batching server section.
@@ -50,15 +74,21 @@ type inferSIMDInfo struct {
 
 // inferBenchReport is the BENCH_infer.json document.
 type inferBenchReport struct {
-	Generated  string            `json:"generated"`
-	GoVersion  string            `json:"go_version"`
-	GOOS       string            `json:"goos"`
-	GOARCH     string            `json:"goarch"`
-	GOMAXPROCS int               `json:"gomaxprocs"`
-	SIMD       inferSIMDInfo     `json:"simd"`
-	Scale      string            `json:"scale"`
-	Rows       []inferBenchRow   `json:"rows"`
-	Serving    inferServingStats `json:"serving"`
+	Generated  string          `json:"generated"`
+	GoVersion  string          `json:"go_version"`
+	GOOS       string          `json:"goos"`
+	GOARCH     string          `json:"goarch"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	SIMD       inferSIMDInfo   `json:"simd"`
+	Scale      string          `json:"scale"`
+	Rows       []inferBenchRow `json:"rows"`
+	// LoopShare and ConvLowerings track where the batch-64 forward
+	// spends its time and which im2col lowering each conv layer
+	// compiled onto — the machine-readable form of the "kernel-bound,
+	// not packer-bound" claim.
+	LoopShare     inferLoopShare      `json:"loop_share"`
+	ConvLowerings []inferConvLowering `json:"conv_lowerings"`
+	Serving       inferServingStats   `json:"serving"`
 	// SeedBaseline freezes the seed commit's per-sample interpreter on
 	// the same workload (dc0a200, 1-core reference machine), so the
 	// speedup trajectory stays machine-readable.
@@ -181,6 +211,47 @@ func Infer(s Scale, log io.Writer) (*Report, error) {
 			f64 = ns
 		}
 	}
+
+	// Per-stage loop share of the batch-64 int8 forward, plus each conv
+	// layer's compile-time lowering decision.
+	x64, err := tensor.FromSlice(x.Data()[:batch*3*s.InputSize*s.InputSize], batch, 3, s.InputSize, s.InputSize)
+	if err != nil {
+		return nil, err
+	}
+	const profRuns = 12
+	var prof *infer.ForwardProfile
+	for r := 0; r < profRuns; r++ {
+		_, p, err := eng.ForwardProfile(x64)
+		if err != nil {
+			return nil, fmt.Errorf("profile forward: %w", err)
+		}
+		if prof == nil || p.Total < prof.Total {
+			prof = p
+		}
+	}
+	jrep.LoopShare = inferLoopShare{
+		Batch: batch, Runs: profRuns,
+		TotalNs:   float64(prof.Total.Nanoseconds()),
+		Im2colNs:  float64(prof.Im2col.Nanoseconds()),
+		GEMMNs:    float64(prof.GEMM.Nanoseconds()),
+		RequantNs: float64(prof.Requant.Nanoseconds()),
+		OtherNs:   float64(prof.Other.Nanoseconds()),
+	}
+	lows := eng.ConvLowerings()
+	lowParts := make([]string, 0, len(lows))
+	for _, l := range lows {
+		jrep.ConvLowerings = append(jrep.ConvLowerings, inferConvLowering{Layer: l.Layer, Mode: l.Mode, Why: l.Why})
+		lowParts = append(lowParts, fmt.Sprintf("%s=%s", l.Layer, l.Mode))
+	}
+	pct := func(d time.Duration) float64 { return 100 * float64(d) / float64(prof.Total) }
+	rep.AddNote("loop share at batch %d (best of %d profiled forwards): im2col %.0f%%, GEMM %.0f%%, requant %.0f%%, other %.0f%% of %.2fms.",
+		batch, profRuns, pct(prof.Im2col), pct(prof.GEMM), pct(prof.Requant), pct(prof.Other),
+		float64(prof.Total.Nanoseconds())/1e6)
+	rep.AddNote("conv lowerings: %s (reasons in %s).", strings.Join(lowParts, ", "), InferBenchPath)
+	rep.SetSeries("loop_share_b64", []float64{
+		jrep.LoopShare.TotalNs, jrep.LoopShare.Im2colNs, jrep.LoopShare.GEMMNs,
+		jrep.LoopShare.RequantNs, jrep.LoopShare.OtherNs,
+	})
 
 	// Micro-batching server under concurrent clients.
 	workers := runtime.GOMAXPROCS(0)

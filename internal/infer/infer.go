@@ -36,6 +36,7 @@ package infer
 import (
 	"fmt"
 	"runtime"
+	"time"
 
 	"repro/internal/models"
 	"repro/internal/tensor"
@@ -59,6 +60,11 @@ type Engine struct {
 	inC, inH, inW int
 	nbuf          int
 	pool          chan *scratch
+	// fused, when non-nil, is layers[0] — a materialized-lowering conv
+	// whose input quantize runs inside its packer (quantize → pack in
+	// one pass from a per-worker image buffer), so Forward skips the
+	// whole-batch quantize staging for it.
+	fused *qaffine
 }
 
 // Config controls Compile.
@@ -71,6 +77,12 @@ type Config struct {
 	// as an ablation knob (per-channel is strictly tighter); see
 	// TestPerChannelScalesTightenAgreement.
 	PerTensorWeights bool
+	// ForceConvLowering overrides the per-geometry conv lowering choice:
+	// "implicit" routes every conv through the in-place band-gather
+	// driver, "materialized" through the patch-matrix im2col. Empty
+	// selects per geometry (stride 1 → implicit). Both lowerings are
+	// bit-identical; this is an ablation/benchmark knob.
+	ForceConvLowering string
 }
 
 // Compile folds, calibrates and lowers a float model. The model is not
@@ -78,6 +90,12 @@ type Config struct {
 func Compile(m *models.Model, cfg Config) (*Engine, error) {
 	if cfg.Calibration == nil || cfg.Calibration.Rank() != 4 {
 		return nil, fmt.Errorf("infer: calibration batch (N,C,H,W) is required")
+	}
+	switch cfg.ForceConvLowering {
+	case "", "implicit", "materialized":
+	default:
+		return nil, fmt.Errorf("infer: unknown ForceConvLowering %q (want \"\", \"implicit\" or \"materialized\")",
+			cfg.ForceConvLowering)
 	}
 	stages, err := foldSequential(m.Layers())
 	if err != nil {
@@ -102,13 +120,28 @@ func Compile(m *models.Model, cfg Config) (*Engine, error) {
 	if caps < 4 {
 		caps = 4
 	}
-	return &Engine{
+	e := &Engine{
 		layers: layers,
 		in:     in,
 		inC:    m.InC, inH: m.InH, inW: m.InW,
 		nbuf: nbuf,
 		pool: make(chan *scratch, caps),
-	}, nil
+	}
+	// When the first layer is a materialized-lowering conv, fuse the input
+	// quantize into its packer: each sample quantizes into a per-worker
+	// image buffer and packs straight from it, so the float input is
+	// touched once and the whole-batch quantized staging tensor is never
+	// written. (Implicit-lowering first convs gather each input row KH
+	// times, so they keep the staged quantize — one pass over the input —
+	// instead of re-quantizing per tap row.)
+	if len(layers) > 0 {
+		if q, ok := layers[0].(*qaffine); ok && q.geom != nil && q.plan == nil {
+			q.fuseQuant = true
+			q.lowerWhy += "; input quantize fused into packer"
+			e.fused = q
+		}
+	}
+	return e, nil
 }
 
 // lease takes a scratch workspace from the free list, building a fresh
@@ -144,16 +177,98 @@ func (e *Engine) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 	}
 	s := e.lease()
 	defer e.release(s)
-	q := &s.acts[0]
-	quantizeInto(q, x, e.in)
+	return e.run(x, s)
+}
+
+// run executes the compiled graph in scratch s (shared by Forward and
+// ForwardProfile).
+func (e *Engine) run(x *tensor.Tensor, s *scratch) (*tensor.Tensor, error) {
+	var q *qtensor
 	var err error
-	for _, l := range e.layers {
+	layers := e.layers
+	if e.fused != nil {
+		// First layer consumes the float input directly: quantize+pack in
+		// one pass (bit-identical to staging the quantized batch first).
+		q, err = e.fused.convFloat(x, s)
+		if err != nil {
+			return nil, fmt.Errorf("infer: %s: %w", e.fused.name(), err)
+		}
+		layers = layers[1:]
+	} else {
+		q = &s.acts[0]
+		quantizeInto(q, x, e.in)
+	}
+	for _, l := range layers {
 		q, err = l.forward(q, s)
 		if err != nil {
 			return nil, fmt.Errorf("infer: %s: %w", l.name(), err)
 		}
 	}
 	return q.dequantize(), nil
+}
+
+// ForwardProfile runs one forward pass with per-stage timing: the
+// returned profile splits wall time into im2col/gather packing, packed
+// GEMM, requantization and everything else. Outputs are bit-identical to
+// Forward (profiling only inserts clock reads and forces the conv band
+// tasks serial so gather and GEMM attribute separately); it is meant for
+// benchmarking, not the serving hot path.
+func (e *Engine) ForwardProfile(x *tensor.Tensor) (*tensor.Tensor, *ForwardProfile, error) {
+	if x.Rank() != 4 || x.Dim(1) != e.inC || x.Dim(2) != e.inH || x.Dim(3) != e.inW {
+		return nil, nil, fmt.Errorf("infer: %w: input %v, want (N,%d,%d,%d)",
+			tensor.ErrShape, x.Shape(), e.inC, e.inH, e.inW)
+	}
+	s := e.lease()
+	defer e.release(s)
+	p := &ForwardProfile{}
+	s.prof = p
+	t0 := time.Now()
+	out, err := e.run(x, s)
+	p.Total = time.Since(t0)
+	s.prof = nil
+	if err != nil {
+		return nil, nil, err
+	}
+	p.Other = p.Total - p.Im2col - p.GEMM - p.Requant
+	if p.Other < 0 {
+		p.Other = 0
+	}
+	return out, p, nil
+}
+
+// ConvLowering describes one conv layer's compile-time lowering choice,
+// surfaced for inspection tools and benchmarks.
+type ConvLowering struct {
+	Layer string // stage label
+	Mode  string // "implicit" or "materialized"
+	Why   string // the rule that picked the mode
+}
+
+// ConvLowerings reports every conv layer's lowering decision in forward
+// order, residual branches included.
+func (e *Engine) ConvLowerings() []ConvLowering {
+	var out []ConvLowering
+	collectLowerings(e.layers, &out)
+	return out
+}
+
+func collectLowerings(layers []qlayer, out *[]ConvLowering) {
+	for _, l := range layers {
+		switch q := l.(type) {
+		case *qaffine:
+			if q.geom == nil {
+				continue
+			}
+			mode := "materialized"
+			if q.plan != nil {
+				mode = "implicit"
+			}
+			*out = append(*out, ConvLowering{Layer: q.label, Mode: mode, Why: q.lowerWhy})
+		case *qresidual:
+			collectLowerings(q.main, out)
+			collectLowerings(q.shortcut, out)
+		}
+	}
 }
 
 // Classify returns the argmax class of each sample.
@@ -215,6 +330,15 @@ type qaffine struct {
 	corr    []int64 // per-channel int32-domain bias − Z_x·Σq_w
 	nbias   int
 	relu    bool
+	// Conv lowering, fixed at Compile per geometry (see lowerAffine):
+	// plan non-nil routes the layer through the implicit-im2col band
+	// driver; nil keeps the materialized patch-matrix packer. fuseQuant
+	// marks the engine's first materialized conv, whose packer quantizes
+	// the float input itself. lowerWhy records the decision for
+	// Engine.ConvLowerings.
+	plan      *tensor.ConvPlanU8
+	fuseQuant bool
+	lowerWhy  string
 }
 
 func (q *qaffine) name() string { return q.label }
@@ -228,41 +352,147 @@ func (q *qaffine) forward(x *qtensor, s *scratch) (*qtensor, error) {
 	return q.linear(x, s)
 }
 
-// conv packs the batch with the patch-major uint8 im2col (padding with
-// Z_x, which represents exact float zero, so the per-channel correction
-// term is position-independent) and runs one packed integer GEMM for the
-// whole batch — activations streamed against the prepacked weight panels
-// — then requantizes the position-major accumulator into NCHW.
+// conv runs the layer's compiled lowering. Implicit (plan != nil): the
+// band driver gathers receptive fields into cache-resident per-worker
+// lanes and runs the packed kernels against them in place — the patch
+// matrix is never materialized. Materialized: the batch packs into the
+// patch-major uint8 im2col arena and one packed GEMM consumes it. Both
+// pad with Z_x (which represents exact float zero, so the per-channel
+// correction term is position-independent), both feed the identical
+// position-major accumulator to the requant pass, and both produce
+// bit-identical payloads.
 func (q *qaffine) conv(x *qtensor, s *scratch) (*qtensor, error) {
 	g := *q.geom
 	if len(x.shape) != 4 || x.shape[1] != g.InC || x.shape[2] != g.InH || x.shape[3] != g.InW {
 		return nil, fmt.Errorf("input %v does not match geometry %+v", x.shape, g)
 	}
 	n := x.dim(0)
+	if q.plan != nil {
+		return q.convImplicit(x.data, n, s)
+	}
 	oh, ow := g.OutHW()
-	sp := oh * ow
-	ns := n * sp
+	ns := n * oh * ow
 	// The packed kernels read operand rows in 4-tap quads; reserve the
 	// spare bytes past the last patch row (they multiply zero weights).
 	cols := s.colsBuf(q.kdim*ns + quadPad)
+	t0 := profClock(s)
 	if err := tensor.Im2ColBatchU8PatchesInto(cols[:q.kdim*ns], x.data, n, g, uint8(q.in.zero)); err != nil {
 		return nil, err
 	}
+	profSpan(s, stageIm2col, t0)
+	return q.convGEMM(cols, n, s)
+}
+
+// convFloat is the fused quantize+pack entry of the engine's first
+// materialized conv: each sample's float image quantizes into a
+// per-worker image buffer and packs straight from it, so the input is
+// read once and the whole-batch quantized tensor is never staged.
+// Packed bytes — and therefore everything downstream — are bit-identical
+// to quantizeInto followed by conv.
+func (q *qaffine) convFloat(x *tensor.Tensor, s *scratch) (*qtensor, error) {
+	g := *q.geom
+	n := x.Dim(0)
+	oh, ow := g.OutHW()
+	ns := n * oh * ow
+	inSz := g.InC * g.InH * g.InW
+	sp := oh * ow
+	cols := s.colsBuf(q.kdim*ns + quadPad)
+	lanes := tensor.MaxWorkers()
+	if lanes > n {
+		lanes = n
+	}
+	imgs := s.imgBuf(lanes * inSz)
+	xd := x.Data()
+	t0 := profClock(s)
+	if lanes == 1 {
+		img := imgs[:inSz]
+		for i := 0; i < n; i++ {
+			q.quantPackSample(cols, xd, img, i, sp, inSz)
+		}
+	} else {
+		tensor.ParallelForWorker(n, func(i, lane int) {
+			q.quantPackSample(cols, xd, imgs[lane*inSz:(lane+1)*inSz], i, sp, inSz)
+		})
+	}
+	profSpan(s, stageIm2col, t0)
+	return q.convGEMM(cols, n, s)
+}
+
+// quantPackSample quantizes sample i into img and packs its patch rows.
+func (q *qaffine) quantPackSample(cols []uint8, xd []float32, img []uint8, i, sp, inSz int) {
+	quantizeRowU8(img, xd[i*inSz:(i+1)*inSz], q.in)
+	// Geometry and payload were validated at compile/entry; the packer
+	// cannot fail on a per-sample slice of them.
+	_ = tensor.Im2ColSampleU8PatchesInto(cols[i*sp*q.kdim:(i+1)*sp*q.kdim], img, *q.geom, uint8(q.in.zero))
+}
+
+// convImplicit runs the implicit-im2col lowering: per-worker gather
+// lanes live at the head of the cols arena (a few tens of KB, versus the
+// megabytes the materialized patch matrix needs), and the band driver
+// streams them against the weight panels.
+func (q *qaffine) convImplicit(src []uint8, n int, s *scratch) (*qtensor, error) {
+	oh, ow := q.plan.Geom().OutHW()
+	ns := n * oh * ow
+	acc := s.accBuf(q.outC * ns)
+	tasks := n * q.plan.Bands()
+	lanes := tensor.MaxWorkers()
+	if lanes > tasks {
+		lanes = tasks
+	}
+	work := s.colsBuf(lanes * q.plan.BandLen())
+	if s.prof != nil {
+		// Profiled forward: run the band tasks serially so gather and GEMM
+		// time attribute separately (the fused driver otherwise interleaves
+		// them per task across workers).
+		buf := work[:q.plan.BandLen()]
+		for t := 0; t < tasks; t++ {
+			t0 := profClock(s)
+			m := q.plan.GatherBandInto(buf, src, uint8(q.in.zero), t)
+			profSpan(s, stageIm2col, t0)
+			t0 = profClock(s)
+			q.plan.GEMMBand(acc, buf, q.packed, t, m)
+			profSpan(s, stageGEMM, t0)
+		}
+		return q.requantConv(acc, n, oh, ow, s)
+	}
+	if err := tensor.ConvU8I8ImplicitInto(acc, src, n, q.packed, q.plan, uint8(q.in.zero), work); err != nil {
+		return nil, err
+	}
+	return q.requantConv(acc, n, oh, ow, s)
+}
+
+// convGEMM runs the packed GEMM over a materialized patch matrix and
+// requantizes.
+func (q *qaffine) convGEMM(cols []uint8, n int, s *scratch) (*qtensor, error) {
+	oh, ow := q.geom.OutHW()
+	ns := n * oh * ow
 	acc := s.accBuf(q.outC * ns)
 	aspan := (ns-1)*q.kdim + q.packed.PaddedK()
+	t0 := profClock(s)
 	if err := tensor.MatMulU8I8PackedInto(acc, cols[:aspan], q.packed, ns, q.kdim); err != nil {
 		return nil, err
 	}
+	profSpan(s, stageGEMM, t0)
+	return q.requantConv(acc, n, oh, ow, s)
+}
+
+// requantConv requantizes the position-major accumulator into the
+// layer's NCHW output slot.
+func (q *qaffine) requantConv(acc []int32, n, oh, ow int, s *scratch) (*qtensor, error) {
+	sp := oh * ow
 	out := s.act(q.buf, n, q.outC, oh, ow)
 	out.g = q.out
 	chunks := (sp + requantChunk - 1) / requantChunk
-	if tensor.MaxWorkers() == 1 {
+	t0 := profClock(s)
+	if tensor.MaxWorkers() == 1 || s.prof != nil {
 		for t := 0; t < n*chunks; t++ {
 			q.requantPositions(acc, out.data, sp, chunks, t)
 		}
+		profSpan(s, stageRequant, t0)
 		return out, nil
 	}
 	tensor.ParallelFor(n*chunks, func(t int) { q.requantPositions(acc, out.data, sp, chunks, t) })
+	profSpan(s, stageRequant, t0)
 	return out, nil
 }
 
@@ -307,17 +537,21 @@ func (q *qaffine) linear(x *qtensor, s *scratch) (*qtensor, error) {
 	// Scratch payloads carry quadPad spare capacity past their length for
 	// exactly this re-slice (see qtensor.setShape).
 	aspan := (n-1)*q.inF + q.packed.PaddedK()
+	t0 := profClock(s)
 	if err := tensor.MatMulU8I8PackedInto(acc, x.data[:aspan], q.packed, n, q.inF); err != nil {
 		return nil, err
 	}
+	profSpan(s, stageGEMM, t0)
 	out := s.act(q.buf, n, q.outC)
 	out.g = q.out
 	lo := int32(0)
 	if q.relu {
 		lo = q.out.zero
 	}
+	t0 = profClock(s)
 	tensor.RequantQ31Rows(out.data, acc, q.m0, q.rsh, q.corr, q.out.zero, lo,
 		n, q.outC, q.outC, q.outC)
+	profSpan(s, stageRequant, t0)
 	return out, nil
 }
 

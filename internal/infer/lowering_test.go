@@ -1,0 +1,226 @@
+package infer
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// compileSmall compiles the shared SmallCNN fixture with the given
+// lowering override.
+func compileSmall(t *testing.T, force string) (*Engine, *tensor.Tensor) {
+	t.Helper()
+	m, te, calib := trainedSmallCNN(t)
+	eng, err := Compile(m, Config{Calibration: calib, ForceConvLowering: force})
+	if err != nil {
+		t.Fatalf("Compile(force=%q): %v", force, err)
+	}
+	x, _ := testBatch(t, te, 24)
+	return eng, x
+}
+
+// TestConvLoweringPerGeometry pins the compile-time lowering rule on the
+// CIFAR-shape backbone: every stride-1 conv goes implicit, every strided
+// conv stays materialized, and the decisions are reported in forward
+// order with their reasons. This is also the CI smoke assertion that the
+// implicit path cannot silently regress to materialized.
+func TestConvLoweringPerGeometry(t *testing.T) {
+	eng, _ := compileSmall(t, "")
+	lows := eng.ConvLowerings()
+	if len(lows) == 0 {
+		t.Fatal("no conv lowerings reported")
+	}
+	implicit, materialized := 0, 0
+	for _, l := range lows {
+		switch l.Mode {
+		case "implicit":
+			implicit++
+			if !strings.Contains(l.Why, "stride 1") {
+				t.Errorf("%s: implicit reason %q does not name the stride rule", l.Layer, l.Why)
+			}
+		case "materialized":
+			materialized++
+			if !strings.Contains(l.Why, "stride") {
+				t.Errorf("%s: materialized reason %q does not name the stride rule", l.Layer, l.Why)
+			}
+		default:
+			t.Errorf("%s: unknown lowering mode %q", l.Layer, l.Mode)
+		}
+		if l.Why == "" {
+			t.Errorf("%s: empty lowering reason", l.Layer)
+		}
+	}
+	// SmallCNN interleaves stride-1 and stride-2 conv blocks: both
+	// lowerings must be live or the per-geometry rule has regressed.
+	if implicit == 0 {
+		t.Fatal("CIFAR-shape model compiled zero layers onto the implicit path")
+	}
+	if materialized == 0 {
+		t.Fatal("CIFAR-shape model compiled zero layers onto the materialized path")
+	}
+}
+
+// TestForceConvLoweringBitIdentical checks the ablation knob and the
+// core tentpole contract in one move: the same trained model compiled
+// with default, all-implicit and all-materialized lowerings must produce
+// bit-identical logits on the same batch.
+func TestForceConvLoweringBitIdentical(t *testing.T) {
+	engDef, x := compileSmall(t, "")
+	engImp, _ := compileSmall(t, "implicit")
+	engMat, _ := compileSmall(t, "materialized")
+
+	for _, l := range engImp.ConvLowerings() {
+		if l.Mode != "implicit" {
+			t.Fatalf("force implicit: %s lowered %s", l.Layer, l.Mode)
+		}
+	}
+	for _, l := range engMat.ConvLowerings() {
+		if l.Mode != "materialized" {
+			t.Fatalf("force materialized: %s lowered %s", l.Layer, l.Mode)
+		}
+	}
+
+	ref, err := engDef.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, eng := range map[string]*Engine{"implicit": engImp, "materialized": engMat} {
+		got, err := eng.Forward(x)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for i, v := range got.Data() {
+			if v != ref.Data()[i] {
+				t.Fatalf("force %s: logit %d = %v, default %v", name, i, v, ref.Data()[i])
+			}
+		}
+	}
+
+	if _, err := Compile(smallModel, Config{Calibration: smallCalib, ForceConvLowering: "bogus"}); err == nil {
+		t.Error("bogus ForceConvLowering did not error")
+	}
+}
+
+// strideFirstModel builds a tiny net whose FIRST conv is strided, so the
+// default lowering materializes it and the engine fuses the input
+// quantize into its packer.
+func strideFirstModel(t *testing.T) *models.Model {
+	t.Helper()
+	rng := tensor.NewRNG(17)
+	conv1, err := nn.NewConv2D(nn.Conv2DConfig{
+		Name: "c1",
+		In:   tensor.ConvGeom{InC: 3, InH: 12, InW: 12, KH: 3, KW: 3, Stride: 2, Pad: 1},
+		OutC: 8, Bias: true, RNG: rng,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conv2, err := nn.NewConv2D(nn.Conv2DConfig{
+		Name: "c2",
+		In:   tensor.ConvGeom{InC: 8, InH: 6, InW: 6, KH: 3, KW: 3, Stride: 1, Pad: 1},
+		OutC: 8, Bias: true, RNG: rng,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := nn.NewLinear("fc", 8*6*6, 4, true, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := nn.NewSequential("stridefirst",
+		conv1, nn.NewReLU("r1"), conv2, nn.NewReLU("r2"), nn.NewFlatten("fl"), fc)
+	return &models.Model{Name: "stridefirst", Net: net, InC: 3, InH: 12, InW: 12, Class: 4}
+}
+
+// TestFusedInputQuantizeBitIdentical: a strided first conv lowers
+// materialized and fuses the input quantize into its packer; the fused
+// engine must match, bit for bit, an engine whose first conv is forced
+// implicit (which stages the quantized input the classic way).
+func TestFusedInputQuantizeBitIdentical(t *testing.T) {
+	m := strideFirstModel(t)
+	rng := tensor.NewRNG(99)
+	calib := tensor.New(8, 3, 12, 12)
+	calib.FillNormal(rng, 0, 1)
+	x := tensor.New(5, 3, 12, 12)
+	x.FillNormal(rng, 0, 1)
+
+	fused, err := Compile(m, Config{Calibration: calib})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fused.fused == nil {
+		t.Fatal("strided first conv did not fuse the input quantize")
+	}
+	if why := fused.ConvLowerings()[0].Why; !strings.Contains(why, "fused") {
+		t.Errorf("fused conv reason %q does not mention fusion", why)
+	}
+	staged, err := Compile(m, Config{Calibration: calib, ForceConvLowering: "implicit"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if staged.fused != nil {
+		t.Fatal("implicit first conv must not fuse the input quantize")
+	}
+
+	a, err := fused.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := staged.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range a.Data() {
+		if v != b.Data()[i] {
+			t.Fatalf("fused logit %d = %v, staged %v", i, v, b.Data()[i])
+		}
+	}
+
+	// The fused path must also hold across worker counts.
+	prev := tensor.SetMaxWorkers(3)
+	c, err := fused.Forward(x)
+	tensor.SetMaxWorkers(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range a.Data() {
+		if v != c.Data()[i] {
+			t.Fatalf("fused logit %d = %v under 3 workers, serial %v", i, v, c.Data()[i])
+		}
+	}
+}
+
+// TestForwardProfileMatchesForward pins that profiling changes no output
+// bit and yields a sane stage split (stages sum to at most the total,
+// every stage non-negative, conv stages actually attributed).
+func TestForwardProfileMatchesForward(t *testing.T) {
+	eng, x := compileSmall(t, "")
+	ref, err := eng.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, prof, err := eng.ForwardProfile(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got.Data() {
+		if v != ref.Data()[i] {
+			t.Fatalf("profiled logit %d = %v, plain %v", i, v, ref.Data()[i])
+		}
+	}
+	if prof.Total <= 0 {
+		t.Fatalf("profile total %v, want > 0", prof.Total)
+	}
+	if prof.Im2col < 0 || prof.GEMM < 0 || prof.Requant < 0 || prof.Other < 0 {
+		t.Fatalf("negative stage in profile %+v", prof)
+	}
+	if sum := prof.Im2col + prof.GEMM + prof.Requant + prof.Other; sum > prof.Total+prof.Total/8 {
+		t.Fatalf("stage sum %v exceeds total %v", sum, prof.Total)
+	}
+	if prof.GEMM == 0 {
+		t.Fatalf("profile attributed no GEMM time: %+v", prof)
+	}
+}

@@ -2,6 +2,7 @@ package infer
 
 import (
 	"math"
+	"time"
 
 	"repro/internal/tensor"
 )
@@ -94,8 +95,15 @@ func (q *qtensor) setShape(shape ...int) {
 func quantizeInto(q *qtensor, t *tensor.Tensor, g grid) {
 	q.setShape(t.Shape()...)
 	q.g = g
-	for i, v := range t.Data() {
-		q.data[i] = g.quantize(v)
+	quantizeRowU8(q.data, t.Data(), g)
+}
+
+// quantizeRowU8 quantizes a float row onto g. The fused quantize+pack
+// conv path calls it per sample; sharing the element loop with
+// quantizeInto is what keeps the fused and staged paths bit-identical.
+func quantizeRowU8(dst []uint8, src []float32, g grid) {
+	for i, v := range src {
+		dst[i] = g.quantize(v)
 	}
 }
 
@@ -127,10 +135,58 @@ type scratch struct {
 	acts []qtensor
 	cols []uint8
 	acc  []int32
+	img  []uint8 // fused quantize+pack: per-worker quantized image lanes
+	// prof, when non-nil, makes the conv/linear stages accumulate
+	// per-stage wall time into it (ForwardProfile sets it for the call).
+	prof *ForwardProfile
 }
 
 func newScratch(nbuf int) *scratch {
 	return &scratch{acts: make([]qtensor, nbuf)}
+}
+
+// ForwardProfile is the per-stage wall-time split of one profiled
+// forward pass: the im2col/gather packing work, the packed GEMM, the
+// requantization, and everything else (quantize, pooling, residual adds,
+// dequantize).
+type ForwardProfile struct {
+	Im2col  time.Duration
+	GEMM    time.Duration
+	Requant time.Duration
+	Other   time.Duration
+	Total   time.Duration
+}
+
+// Profiled stage identifiers for profSpan.
+const (
+	stageIm2col = iota
+	stageGEMM
+	stageRequant
+)
+
+// profClock samples the clock only on profiled calls; the hot path pays
+// one nil check.
+func profClock(s *scratch) time.Time {
+	if s.prof == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// profSpan accrues the elapsed span to a profile stage.
+func profSpan(s *scratch, stage int, t0 time.Time) {
+	if s.prof == nil {
+		return
+	}
+	d := time.Since(t0)
+	switch stage {
+	case stageIm2col:
+		s.prof.Im2col += d
+	case stageGEMM:
+		s.prof.GEMM += d
+	case stageRequant:
+		s.prof.Requant += d
+	}
 }
 
 // act returns slot id shaped as requested (payload grown, contents
@@ -165,4 +221,12 @@ func (s *scratch) accBuf(n int) []int32 {
 		s.acc = make([]int32, n)
 	}
 	return s.acc[:n]
+}
+
+// imgBuf returns the fused-quantize image arena grown to n elements.
+func (s *scratch) imgBuf(n int) []uint8 {
+	if cap(s.img) < n {
+		s.img = make([]uint8, n)
+	}
+	return s.img[:n]
 }

@@ -42,6 +42,9 @@ func packedGEMMWide4AVX2(dst *int32, a *uint8, panel *int8, m, kq, lda, ldd int)
 func packedGEMMEdgeAVX2(dst *int32, a *uint8, panel *int8, m, kq, lda, ldd, nr int)
 
 //go:noescape
+func im2colPack3AVX2(dst, r0, r1, r2 *uint8, n, nc, kdim, stride, plane int)
+
+//go:noescape
 func packedF32GEMM4x16FMA(dst, a, panel *float32, m, k, ars, aks, ldd int)
 
 //go:noescape
@@ -105,6 +108,7 @@ func applySIMDAmd64(on bool) {
 		packedAsmFast, packedAsmWide = nil, nil
 		packedAsmFast4, packedAsmWide4 = nil, nil
 		packedAsmEdge = nil
+		pack3Asm = nil
 		f32Panel4, f32Panel1 = f32Panel4Go, f32Panel1Go
 		f32Panel4w8, f32Panel1w8 = f32Panel4x8Go, f32Panel1x8Go
 		requantRowsAsm, requantTransAsm = nil, nil
@@ -118,12 +122,24 @@ func applySIMDAmd64(on bool) {
 	packedAsmFast4 = packedFast4Asm
 	packedAsmWide4 = packedWide4Asm
 	packedAsmEdge = packedEdgeAsm
+	pack3Asm = pack3AVX2Wrap
 	f32Panel4 = f32Panel4Asm
 	f32Panel1 = f32Panel1Asm
 	f32Panel4w8 = f32Panel4w8Asm
 	f32Panel1w8 = f32Panel1w8Asm
 	requantRowsAsm = requantRowsAVX2Wrap
 	requantTransAsm = requantTransAVX2Wrap
+}
+
+func pack3AVX2Wrap(dst, r0, r1, r2 []uint8, n, nc, kdim, stride, plane int) {
+	// Pin the extreme bytes the kernel touches: the last block's 16-byte
+	// store and each cursor's final 4-byte load.
+	_ = dst[(n-1)*kdim+(nc-1)*9+15]
+	e := (nc-1)*plane + (n-1)*stride
+	_ = r0[e+3]
+	_ = r1[e+3]
+	_ = r2[e+3]
+	im2colPack3AVX2(&dst[0], &r0[0], &r1[0], &r2[0], n, nc, kdim, stride, plane)
 }
 
 func requantRowsAVX2Wrap(dst []uint8, acc []int32, m0, rsh []int32, corr []int64, zp, lo int32, m, nc4, lda, ldd int) {

@@ -419,3 +419,65 @@ rowend:
 done:
 	VZEROUPPER
 	RET
+
+// func im2colPack3AVX2(dst, r0, r1, r2 *uint8, n, nc, kdim, stride, plane int)
+//
+// Interior gather kernel for the 3×3 im2col packers: for each of n
+// output positions, composes nc channels' 9-tap patch blocks from three
+// receptive-field row cursors. Each block is three 4-byte row loads
+// merged in an XMM register (VPSHUFB compacting the 3×4 loaded bytes
+// down to the 9 taps) and written with ONE 16-byte store — the 7
+// trailing bytes are zeros spilling into the next channel's block at the
+// same position, which a later pass overwrites (callers only route
+// channels with p+16 ≤ kdim here; the final channel keeps the exact Go
+// stores, so nc is at most InC-1).
+//
+//	dst: position stride kdim bytes, channel stride 9 bytes
+//	r0, r1, r2: channel-0 cursors; `stride` bytes per position,
+//	            `plane` bytes per channel, 4 bytes readable per load
+TEXT ·im2colPack3AVX2(SB), NOSPLIT, $0-72
+	MOVQ dst+0(FP), DI
+	MOVQ r0+8(FP), SI
+	MOVQ r1+16(FP), R8
+	MOVQ r2+24(FP), R9
+	MOVQ n+32(FP), CX
+	MOVQ nc+40(FP), R12
+	MOVQ kdim+48(FP), R10
+	MOVQ stride+56(FP), R11
+	MOVQ plane+64(FP), R13
+	VMOVDQU pack3Mask<>(SB), X3
+
+pos:
+	MOVQ DI, AX               // block cursor: +9 per channel
+	MOVQ SI, R14              // per-channel source cursors: +plane each
+	MOVQ R8, R15
+	MOVQ R9, BX
+	MOVQ R12, DX
+
+chan:
+	VMOVD   (R14), X0         // r0[x..x+3] → bytes 0-3
+	VPINSRD $1, (R15), X0, X0 // r1[x..x+3] → bytes 4-7
+	VPINSRD $2, (BX), X0, X0  // r2[x..x+3] → bytes 8-11
+	VPSHUFB X3, X0, X0        // compact to 9 taps + 7 zero bytes
+	VMOVDQU X0, (AX)
+	ADDQ    R13, R14
+	ADDQ    R13, R15
+	ADDQ    R13, BX
+	ADDQ    $9, AX
+	DECQ    DX
+	JNZ     chan
+
+	ADDQ R11, SI              // next output position
+	ADDQ R11, R8
+	ADDQ R11, R9
+	ADDQ R10, DI
+	DECQ CX
+	JNZ  pos
+	VZEROUPPER
+	RET
+
+// 16-byte VPSHUFB mask: [0 1 2 | 4 5 6 | 8 9 10] then high-bit (zero
+// fill) for the 7 spill bytes.
+DATA pack3Mask<>+0(SB)/8, $0x0908060504020100
+DATA pack3Mask<>+8(SB)/8, $0x808080808080800A
+GLOBL pack3Mask<>(SB), RODATA|NOPTR, $16

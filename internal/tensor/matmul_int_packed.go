@@ -203,48 +203,56 @@ func MatMulU8I8PackedInto(dst []int32, a []uint8, b *PackedI8, m, lda int) error
 	return nil
 }
 
-// gemmPackedBlock computes one (row block × panel) output tile. Kernel
-// selection is per panel — saturating weight panels take the exact
-// widening kernels, everything else the fast VPMADDUBSW kernels — and
-// per row count: groups of four rows run the register-blocked 4-row
-// micro-kernel (one panel-quad load per four rows), the remainder rows
-// the one-row kernel.
+// gemmPackedBlock computes one (row block × panel) output tile.
 func gemmPackedBlock(dst []int32, a []uint8, b *PackedI8, m, lda, t int) {
 	ib, pi := t/b.panels, t%b.panels
-	asm1, asm4 := packedAsmFast, packedAsmFast4
-	if b.satp[pi] {
-		asm1, asm4 = packedAsmWide, packedAsmWide4
-	}
 	i0 := ib * gemmRowBlock
 	mr := min(gemmRowBlock, m-i0)
+	runPackedPanel(dst[i0*b.n:], a[i0*lda:], b, pi, mr, lda, b.n)
+}
+
+// runPackedPanel computes one weight panel against mr operand rows: dst
+// and a point at the tile's first row (dst row stride ldd int32s, operand
+// row stride lda bytes); the panel's column offset within dst is derived
+// from pi. Kernel selection is per panel — saturating weight panels take
+// the exact widening kernels, everything else the fast VPMADDUBSW kernels
+// — and per row count: groups of four rows run the register-blocked 4-row
+// micro-kernel (one panel-quad load per four rows), the remainder rows
+// the one-row kernel. mr is arbitrary (the 4-row kernels loop internally),
+// which is what lets the implicit-im2col conv driver run a whole gathered
+// row band through one call per panel.
+func runPackedPanel(dst []int32, a []uint8, b *PackedI8, pi, mr, lda, ldd int) {
 	j0 := pi * 8
 	nr := min(8, b.n-j0)
 	panel := b.data[pi*b.kq*32 : (pi+1)*b.kq*32]
 	if nr < 8 {
 		if packedAsmEdge != nil {
-			packedAsmEdge(dst[i0*b.n+j0:], a[i0*lda:], panel, mr, b.kq, lda, b.n, nr)
+			packedAsmEdge(dst[j0:], a, panel, mr, b.kq, lda, ldd, nr)
 		} else {
-			packedPanelGo(dst[i0*b.n+j0:], a[i0*lda:], panel, mr, b.kq, lda, b.n, nr)
+			packedPanelGo(dst[j0:], a, panel, mr, b.kq, lda, ldd, nr)
 		}
 		return
+	}
+	asm1, asm4 := packedAsmFast, packedAsmFast4
+	if b.satp[pi] {
+		asm1, asm4 = packedAsmWide, packedAsmWide4
 	}
 	m4 := mr &^ 3
 	if m4 > 0 {
 		if asm4 != nil {
-			asm4(dst[i0*b.n+j0:], a[i0*lda:], panel, m4, b.kq, lda, b.n)
+			asm4(dst[j0:], a, panel, m4, b.kq, lda, ldd)
 		} else {
-			packedPanelGo8x4(dst[i0*b.n+j0:], a[i0*lda:], panel, m4, b.kq, lda, b.n)
+			packedPanelGo8x4(dst[j0:], a, panel, m4, b.kq, lda, ldd)
 		}
 	}
 	if m4 == mr {
 		return
 	}
-	i0 += m4
 	if asm1 != nil {
-		asm1(dst[i0*b.n+j0:], a[i0*lda:], panel, mr-m4, b.kq, lda, b.n)
+		asm1(dst[m4*ldd+j0:], a[m4*lda:], panel, mr-m4, b.kq, lda, ldd)
 		return
 	}
-	packedPanelGo8(dst[i0*b.n+j0:], a[i0*lda:], panel, mr-m4, b.kq, lda, b.n)
+	packedPanelGo8(dst[m4*ldd+j0:], a[m4*lda:], panel, mr-m4, b.kq, lda, ldd)
 }
 
 // packedPanelGo8 is the portable kernel for full 8-column panels: the 8

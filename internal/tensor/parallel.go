@@ -48,19 +48,28 @@ func MaxWorkers() int { return maxWorkers }
 //     for the independent-iteration contract ParallelFor requires.
 // ---------------------------------------------------------------------------
 
-// parJob is one ParallelFor invocation flowing through the pool.
+// parJob is one ParallelFor/ParallelForWorker invocation flowing through
+// the pool. Exactly one of fn and fnw is set.
 type parJob struct {
 	fn    func(int)
+	fnw   func(int, int) // iteration body with a participant lane ordinal
 	n     int64
 	chunk int64
 	next  atomic.Int64 // next unclaimed index
 	left  atomic.Int64 // indices not yet completed
+	lanes atomic.Int64 // next unclaimed lane ordinal (fnw jobs)
 	done  chan struct{}
 }
 
 // run claims and executes chunks until the index space is exhausted. The
-// last participant to finish closes done.
+// last participant to finish closes done. For lane-carrying jobs each
+// participant claims its lane ordinal only after securing its first
+// chunk, so participants that arrive to an exhausted index space never
+// consume a lane; at most workers run() invocations exist per job (one
+// per published copy plus the caller), so ordinals stay below the
+// fan-out bound the submitter sized its lane state for.
 func (j *parJob) run() {
+	lane := -1
 	for {
 		lo := j.next.Add(j.chunk) - j.chunk
 		if lo >= j.n {
@@ -70,8 +79,17 @@ func (j *parJob) run() {
 		if hi > j.n {
 			hi = j.n
 		}
-		for i := lo; i < hi; i++ {
-			j.fn(int(i))
+		if j.fnw != nil {
+			if lane < 0 {
+				lane = int(j.lanes.Add(1) - 1)
+			}
+			for i := lo; i < hi; i++ {
+				j.fnw(int(i), lane)
+			}
+		} else {
+			for i := lo; i < hi; i++ {
+				j.fn(int(i))
+			}
 		}
 		if j.left.Add(lo-hi) == 0 {
 			close(j.done)
@@ -121,6 +139,39 @@ func ParallelFor(n int, fn func(i int)) {
 		}
 		return
 	}
+	submitJob(&parJob{fn: fn}, n, workers)
+}
+
+// ParallelForWorker runs fn(i, lane) for i in [0, n) across the worker
+// pool, blocking until all iterations complete. lane is a dense ordinal
+// in [0, MaxWorkers()) identifying the participating goroutine for the
+// duration of the call: every iteration a participant executes sees the
+// same lane, and no two concurrent participants share one. Callers use
+// it to index per-participant scratch (e.g. the implicit-im2col gather
+// buffers) without locking. Like ParallelFor, each index runs exactly
+// once and iterations must be independent; unlike ParallelFor, results
+// may depend on lane assignment only if the caller makes them (the
+// tensor drivers never do — lanes select disjoint scratch, not data).
+func ParallelForWorker(n int, fn func(i, lane int)) {
+	if n <= 0 {
+		return
+	}
+	workers := maxWorkers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i, 0)
+		}
+		return
+	}
+	submitJob(&parJob{fnw: fn}, n, workers)
+}
+
+// submitJob publishes a prepared job to up to workers-1 pool workers and
+// participates until every index completes.
+func submitJob(j *parJob, n, workers int) {
 	poolOnce.Do(startPool)
 	// Over-decompose by 4x for dynamic load balance without measurable
 	// claiming overhead (one atomic add per chunk).
@@ -128,7 +179,9 @@ func ParallelFor(n int, fn func(i int)) {
 	if chunk < 1 {
 		chunk = 1
 	}
-	j := &parJob{fn: fn, n: int64(n), chunk: chunk, done: make(chan struct{})}
+	j.n = int64(n)
+	j.chunk = chunk
+	j.done = make(chan struct{})
 	j.left.Store(int64(n))
 	// Enlist up to workers-1 helpers; if the queue is full the caller just
 	// does a larger share itself.

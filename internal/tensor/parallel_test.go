@@ -2,6 +2,7 @@ package tensor
 
 import (
 	"math"
+	"sync/atomic"
 	"testing"
 )
 
@@ -66,6 +67,75 @@ func TestParallelForReentryAfterCompletion(t *testing.T) {
 			if h != 1 {
 				t.Fatalf("round %d: index %d ran %d times", round, i, h)
 			}
+		}
+	}
+}
+
+// TestParallelForWorkerCoversAllIndices pins ParallelForWorker's index
+// contract (each i exactly once) and its lane contract: every lane
+// ordinal stays below MaxWorkers(), and a participant keeps one lane for
+// the whole job, so no index observes a torn lane assignment.
+func TestParallelForWorkerCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 4, 8, 32} {
+		prev := SetMaxWorkers(workers)
+		for round := 0; round < 50; round++ {
+			const n = 211
+			hits := make([]int32, n)
+			lanes := make([]int32, n)
+			ParallelForWorker(n, func(i, lane int) {
+				hits[i]++
+				lanes[i] = int32(lane)
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d round=%d: index %d ran %d times", workers, round, i, h)
+				}
+				if lanes[i] < 0 || int(lanes[i]) >= workers {
+					t.Fatalf("workers=%d: index %d saw lane %d, want [0,%d)", workers, i, lanes[i], workers)
+				}
+			}
+		}
+		SetMaxWorkers(prev)
+	}
+}
+
+// TestParallelForWorkerLanesAreExclusive checks that no two concurrent
+// participants share a lane: each iteration increments and decrements a
+// per-lane depth counter, which must never exceed 1.
+func TestParallelForWorkerLanesAreExclusive(t *testing.T) {
+	prev := SetMaxWorkers(8)
+	defer SetMaxWorkers(prev)
+	depth := make([]int32, MaxWorkers())
+	var bad int32
+	for round := 0; round < 20; round++ {
+		ParallelForWorker(512, func(i, lane int) {
+			if d := atomic.AddInt32(&depth[lane], 1); d != 1 {
+				atomic.StoreInt32(&bad, 1)
+			}
+			atomic.AddInt32(&depth[lane], -1)
+		})
+	}
+	if bad != 0 {
+		t.Fatal("two concurrent participants shared a lane")
+	}
+}
+
+// TestParallelForWorkerSerialIsLaneZero pins the serial fast path: one
+// worker means a plain loop with lane 0 throughout (the engine's
+// zero-allocation serial contract sizes scratch for exactly one lane).
+func TestParallelForWorkerSerialIsLaneZero(t *testing.T) {
+	prev := SetMaxWorkers(1)
+	defer SetMaxWorkers(prev)
+	order := make([]int, 0, 9)
+	ParallelForWorker(9, func(i, lane int) {
+		if lane != 0 {
+			t.Fatalf("serial lane = %d, want 0", lane)
+		}
+		order = append(order, i)
+	})
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order[%d] = %d, want %d", i, v, i)
 		}
 	}
 }
